@@ -1,0 +1,17 @@
+"""Fig. 3 benchmark: the MetaLeak attack and IvLeague's defence."""
+
+from repro.experiments import fig03_attack
+from repro.experiments.common import format_table
+
+
+def test_fig03_metaleak(benchmark):
+    def run():
+        return fig03_attack.compute(n_bits=96, seed=42)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+    acc = {r["scheme"]: r["accuracy"] for r in rows}
+    assert acc["baseline"] > 0.85            # paper: 91.6% on real SGX
+    for scheme in ("ivleague-basic", "ivleague-invert", "ivleague-pro"):
+        assert 0.3 < acc[scheme] < 0.7       # chance

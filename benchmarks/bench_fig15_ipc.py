@@ -1,0 +1,23 @@
+"""Fig. 15 benchmark: weighted IPC of every scheme vs Baseline.
+
+Prints the figure's rows and checks the headline shape: IvLeague-Pro is
+the best IvLeague variant and IvLeague-Basic carries overhead relative
+to it.
+"""
+
+from repro.experiments import fig15_weighted_ipc
+
+
+def test_fig15_weighted_ipc(benchmark, bench_scale, bench_mixes):
+    def run():
+        return fig15_weighted_ipc.compute(bench_scale, mixes=bench_mixes)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(fig15_weighted_ipc.format_table(rows))
+    by_mix = {r["mix"]: r for r in rows}
+    for mix in bench_mixes:
+        r = by_mix[mix]
+        assert r["baseline"] == 1.0
+        # Pro at least matches Basic (hotpage acceleration never hurts)
+        assert r["ivleague-pro"] >= r["ivleague-basic"] * 0.97

@@ -1,0 +1,20 @@
+"""Fig. 16 benchmark: per-benchmark verification path length."""
+
+from repro.experiments import fig16_path_length
+from repro.experiments.common import format_table
+
+
+def test_fig16_path_length(benchmark, bench_scale, bench_mixes):
+    def run():
+        return fig16_path_length.compute(bench_scale, mixes=bench_mixes)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+    avgs = {r["benchmark"]: r for r in rows if r["benchmark"].startswith("avg-")}
+    # paper shape: graph benchmarks walk deeper than SPEC, and Pro's
+    # hotpage placement shortens the walk versus Basic
+    if "avg-spec2017" in avgs and "avg-gap" in avgs:
+        assert avgs["avg-gap"]["baseline"] > avgs["avg-spec2017"]["baseline"]
+    for r in avgs.values():
+        assert r["ivleague-pro"] <= r["ivleague-basic"] + 0.05

@@ -1,0 +1,21 @@
+"""Fig. 17 benchmark: NFL vs the naive bit-vector allocators."""
+
+from repro.experiments import fig17_nfl
+from repro.experiments.common import format_table
+
+
+def test_fig17_nfl_vs_bitvectors(benchmark, bench_scale):
+    def run():
+        return fig17_nfl.compute(bench_scale, mixes=["S-2", "M-1"])
+
+    perf, util = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(perf))
+    print(format_table(util, floatfmt=".6f"))
+    for row in perf:
+        nfl = row["NFL"]
+        bv2 = row["BV-v2"]
+        # BV-v2 either starves or pays its cross-TreeLing scans
+        assert isinstance(bv2, str) or bv2 <= nfl
+    for row in util:
+        assert row["utilization"] > 0.999   # paper: >99.99%

@@ -1,0 +1,18 @@
+"""Fig. 18 benchmark: NFLB hit rate per workload."""
+
+from repro.experiments import fig18_nflb
+from repro.experiments.common import format_table
+
+
+def test_fig18_nflb_hit_rate(benchmark, bench_scale, bench_mixes):
+    def run():
+        return fig18_nflb.compute(bench_scale, mixes=bench_mixes)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+    # paper: 86.9%+ everywhere (two NFLB entries already capture the
+    # head-block locality of allocation bursts)
+    for r in rows:
+        for scheme in ("ivleague-basic", "ivleague-invert", "ivleague-pro"):
+            assert r[scheme] > 0.75

@@ -1,0 +1,17 @@
+"""Fig. 19 benchmark: total memory accesses vs Baseline."""
+
+from repro.experiments import fig19_mem_accesses
+from repro.experiments.common import format_table
+
+
+def test_fig19_memory_accesses(benchmark, bench_scale, bench_mixes):
+    def run():
+        return fig19_mem_accesses.compute(bench_scale, mixes=bench_mixes)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+    for r in rows:
+        # IvLeague-Basic adds metadata traffic (NFL/LMM/tree), and Pro
+        # claws traffic back versus Basic via hotpage placement
+        assert r["ivleague-pro"] <= r["ivleague-basic"] * 1.06

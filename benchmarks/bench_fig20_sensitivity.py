@@ -1,0 +1,30 @@
+"""Fig. 20 benchmark: TreeLing-size and metadata-cache-size sweeps."""
+
+from repro.experiments import fig20_sensitivity
+from repro.experiments.common import Scale, format_table
+
+SWEEP_SCALE = Scale("quick", n_accesses=4_000, warmup=1_200)
+
+
+def test_fig20a_treeling_size(benchmark):
+    def run():
+        return fig20_sensitivity.compute_treeling_size(
+            SWEEP_SCALE, mixes=["S-2", "M-1"])
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+    assert len(rows) == 3
+
+
+def test_fig20b_cache_size(benchmark):
+    def run():
+        return fig20_sensitivity.compute_cache_size(
+            SWEEP_SCALE, mixes=["S-2"])
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+    # bigger metadata caches never hurt
+    basics = [r["ivleague-basic"] for r in rows]
+    assert basics[-1] >= basics[0]

@@ -1,0 +1,14 @@
+"""Fig. 21 benchmark: required TreeLings vs size/skewness (analytical)."""
+
+from repro.experiments import fig21_treeling_count
+from repro.experiments.common import format_table
+
+
+def test_fig21_treeling_requirements(benchmark):
+    rows = benchmark(fig21_treeling_count.compute, n_domains=1024,
+                     trials=8)
+    print()
+    print(format_table(rows, floatfmt=".0f"))
+    # steep drop then flattening (paper's key observation)
+    mem8 = [r for r in rows if r["memory"] == "8GB"]
+    assert mem8[0]["skew=1.0"] > 2 * mem8[-1]["skew=1.0"]

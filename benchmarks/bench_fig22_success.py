@@ -1,0 +1,13 @@
+"""Fig. 22 benchmark: success-rate grid, static vs IvLeague."""
+
+from repro.experiments import fig22_success_rate
+from repro.experiments.common import format_table
+
+
+def test_fig22_success_rates(benchmark):
+    rows = benchmark(fig22_success_rate.compute, trials=60)
+    print()
+    print(format_table(rows, floatfmt=".2f"))
+    high_util = [r for r in rows if r["utilization"] >= 0.4]
+    assert min(r["ivleague"] for r in rows) > 0.95
+    assert max(r["static"] for r in high_util) < 0.6

@@ -1,0 +1,51 @@
+"""Microbenchmarks of the core data structures.
+
+Not a paper figure -- these guard the simulator's own performance (the
+NFL, cache and engine fast paths dominate experiment wall-clock time).
+"""
+
+from repro.core.nfl import ChainedNFL
+from repro.mem.cache import Cache
+from repro.secure.engine import BaselineEngine
+from repro.sim.config import CacheConfig, tiny_config
+
+
+def test_cache_lookup_throughput(benchmark):
+    c = Cache(CacheConfig(64 * 1024, 8, hit_latency=1))
+    for a in range(1024):
+        c.fill(a)
+
+    def run():
+        for a in range(1024):
+            c.lookup(a)
+
+    benchmark(run)
+
+
+def test_nfl_alloc_free_cycle(benchmark):
+    def run():
+        chain = ChainedNFL()
+        chain.append_treeling(0, list(range(64)))
+        ops = [chain.alloc() for _ in range(512)]
+        for op in ops[::2]:
+            chain.free(op.node_global, op.slot)
+        for _ in range(256):
+            chain.alloc()
+
+    benchmark(run)
+
+
+def test_engine_access_throughput(benchmark):
+    cfg = tiny_config()
+    engine = BaselineEngine(cfg)
+    engine.on_domain_start(1)
+
+    counter = iter(range(10_000_000))
+
+    def run():
+        base = next(counter) * 97
+        for i in range(256):
+            engine.data_access(1, (base + i * 13) % 12000, i % 64,
+                               False, float(base + i))
+
+    benchmark(run)

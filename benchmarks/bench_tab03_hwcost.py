@@ -1,0 +1,13 @@
+"""Table III benchmark: hardware-cost accounting."""
+
+from repro.analysis.hwcost import total_area
+from repro.experiments import tab03_hwcost
+from repro.experiments.common import format_table
+from repro.sim.config import paper_config
+
+
+def test_tab03_hardware_cost(benchmark):
+    rows = benchmark(tab03_hwcost.compute)
+    print()
+    print(format_table(rows, floatfmt=".4f"))
+    assert total_area(paper_config()) < 1.0   # paper: 0.3551 mm^2

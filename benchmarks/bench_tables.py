@@ -1,0 +1,18 @@
+"""Tables I and II: configuration and workload dumps."""
+
+from repro.experiments import tab01_config, tab02_workloads
+from repro.experiments.common import format_table
+
+
+def test_tab01_configuration(benchmark):
+    rows = benchmark(tab01_config.compute)
+    print()
+    print(format_table(rows))
+    assert len(rows) >= 12
+
+
+def test_tab02_workloads(benchmark):
+    rows = benchmark(tab02_workloads.compute)
+    print()
+    print(format_table(rows))
+    assert len(rows) == 16

@@ -1,0 +1,26 @@
+"""Benchmark configuration.
+
+Each figure/table of the paper has one benchmark module that runs its
+regeneration harness at ``quick`` scale (shapes hold; EXPERIMENTS.md is
+produced from the ``full`` scale via scripts/run_experiments.py).
+Heavy simulations use ``benchmark.pedantic(rounds=1)`` -- the interesting
+output is the experiment rows, not nanosecond timing stability.
+"""
+
+import pytest
+
+from repro.experiments.common import Scale
+
+#: Scale used by the benchmark harness.
+BENCH_SCALE = Scale("quick", n_accesses=14_000, warmup=6_000)
+BENCH_MIXES = ["S-1", "M-1", "L-1"]
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_mixes():
+    return list(BENCH_MIXES)

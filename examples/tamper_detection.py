@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Functional secure-memory demo: the three classic physical attacks.
+
+Uses the byte-accurate model (`repro.secure.functional`) -- real
+counter-mode encryption, real MACs, a real Bonsai Merkle Tree -- and
+shows each attack from the paper's threat model being caught:
+
+  spoofing  -- overwrite ciphertext on the bus        -> MAC catches it
+  splicing  -- relocate another block's (data, MAC)   -> MAC catches it
+  replay    -- roll back data + MAC + counter together -> only the TREE
+               catches it (this is why integrity trees exist)
+
+Run:  python examples/tamper_detection.py
+"""
+
+from repro.secure.functional import (FunctionalSecureMemory,
+                                     IntegrityViolation)
+
+
+def expect_violation(label: str, fn) -> None:
+    try:
+        fn()
+    except IntegrityViolation as exc:
+        print(f"   [detected] {label}: {exc}")
+    else:
+        raise SystemExit(f"FAILED: {label} went undetected!")
+
+
+def main() -> None:
+    mem = FunctionalSecureMemory(n_pages=64)
+    secret = b"bank balance: 1,000,000 dollars".ljust(64, b"!")
+
+    print("== honest operation")
+    mem.write(3, 0, secret)
+    print(f"   plaintext round-trips: {mem.read(3, 0) == secret}")
+    raw = mem.dram.read(3 * 64 + 0)
+    print(f"   DRAM holds ciphertext: {raw != secret}")
+
+    print("== attack 1: spoofing (bus tampering)")
+    mem.adversary_spoof(3, 0, b"\x00" * 64)
+    expect_violation("forged ciphertext", lambda: mem.read(3, 0))
+    mem.write(3, 0, secret)  # victim rewrites; system recovers
+
+    print("== attack 2: splicing (block relocation)")
+    mem.write(9, 0, b"decoy".ljust(64, b"."))
+    mem.adversary_splice(dst=(3, 0), src=(9, 0))
+    expect_violation("relocated block", lambda: mem.read(3, 0))
+    mem.write(3, 0, secret)
+
+    print("== attack 3: replay (consistent rollback)")
+    capsule = mem.adversary_replay(3, 0)          # snapshot old state
+    mem.write(3, 0, b"balance: 0".ljust(64, b" "))  # victim spends it all
+    mem.adversary_apply_replay(capsule)           # adversary rolls back
+    expect_violation("replayed stale state", lambda: mem.read(3, 0))
+
+    print("\nMAC alone stops spoofing/splicing; the replay rolled data,"
+          "\nMAC and counter back *consistently* -- only the integrity"
+          "\ntree's on-chip root caught it. That tree is what IvLeague"
+          "\npartitions into isolated per-domain TreeLings.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Regenerate every paper table/figure at full scale.
+
+Writes the formatted outputs to stdout (tee it) -- this is the script
+that produced the measured numbers recorded in EXPERIMENTS.md.
+
+Usage:
+    python scripts/run_experiments.py [quick|full] [--env fragmented|sequential|both]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (fig03_attack, fig15_weighted_ipc,
+                               fig16_path_length, fig17_nfl, fig18_nflb,
+                               fig19_mem_accesses, fig20_sensitivity,
+                               fig21_treeling_count, fig22_success_rate,
+                               runner, tab01_config, tab02_workloads,
+                               tab03_hwcost)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("scale", nargs="?", default="full",
+                    choices=["quick", "full"])
+    ap.add_argument("--env", default="both",
+                    choices=["fragmented", "sequential", "both"])
+    args = ap.parse_args()
+
+    t0 = time.time()
+    tab01_config.main()
+    tab02_workloads.main()
+    tab03_hwcost.main()
+    fig03_attack.main(n_bits=256)
+    fig21_treeling_count.main()
+    fig22_success_rate.main(trials=200)
+
+    envs = (["fragmented", "sequential"] if args.env == "both"
+            else [args.env])
+    for env in envs:
+        runner.clear_cache()
+        fig15_weighted_ipc.main(args.scale, frame_policy=env)
+        fig16_path_length.main(args.scale, frame_policy=env)
+        fig18_nflb.main(args.scale, frame_policy=env)
+        fig19_mem_accesses.main(args.scale, frame_policy=env)
+
+    fig17_nfl.main(args.scale)
+    fig20_sensitivity.main(args.scale)
+
+    print(f"\ntotal wall-clock: {time.time() - t0:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

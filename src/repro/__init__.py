@@ -1,0 +1,59 @@
+"""IvLeague reproduction: side channel-resistant isolated integrity trees.
+
+Public API surface.  The typical flow::
+
+    from repro import scaled_config, build_mix, run_workload
+    from repro import BaselineEngine, IvLeagueProEngine
+
+    cfg = scaled_config()
+    wl = build_mix("S-1", n_accesses=20_000)
+    base = run_workload(cfg, BaselineEngine, wl)
+    pro = run_workload(cfg, IvLeagueProEngine, wl)
+    print(pro.weighted_ipc(base))
+"""
+
+from repro.core.forest import IvLeagueForest
+from repro.core.invert import IvLeagueInvertEngine
+from repro.core.ivleague import IvLeagueBasicEngine
+from repro.core.pro import IvLeagueProEngine
+from repro.secure.counter_tree import SgxCounterTreeEngine
+from repro.secure.engine import BaselineEngine, SecureMemoryEngine
+from repro.secure.functional import FunctionalSecureMemory
+from repro.secure.vault import VaultEngine
+from repro.secure.static_partition import StaticPartitionEngine
+from repro.sim.config import (MachineConfig, paper_config, scaled_config,
+                              tiny_config)
+from repro.sim.simulator import Simulator, run_workload
+from repro.sim.stats import RunResult, geomean
+from repro.workloads.generator import (WorkloadSpec, build_workload,
+                                       generate_trace)
+from repro.workloads.mixes import ALL as ALL_MIXES
+from repro.workloads.mixes import MIXES, build_mix
+
+#: Engines evaluated in the paper, in Fig. 15 order.
+ENGINES = {
+    "baseline": BaselineEngine,
+    "ivleague-basic": IvLeagueBasicEngine,
+    "ivleague-invert": IvLeagueInvertEngine,
+    "ivleague-pro": IvLeagueProEngine,
+}
+
+#: Additional comparators on the same substrate (not part of Fig. 15).
+EXTRA_ENGINES = {
+    "sgx-counter-tree": SgxCounterTreeEngine,
+    "vault": VaultEngine,
+    "static-partition": StaticPartitionEngine,
+}
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_MIXES", "BaselineEngine", "ENGINES", "FunctionalSecureMemory",
+    "IvLeagueBasicEngine", "IvLeagueForest", "SgxCounterTreeEngine",
+    "IvLeagueInvertEngine", "IvLeagueProEngine", "MIXES", "MachineConfig",
+    "RunResult", "SecureMemoryEngine", "Simulator", "StaticPartitionEngine",
+    "WorkloadSpec", "build_mix", "build_workload", "generate_trace",
+    "VaultEngine", "EXTRA_ENGINES",
+    "geomean", "paper_config", "run_workload", "scaled_config",
+    "tiny_config",
+]

@@ -1,0 +1,132 @@
+"""Analytical scalability models (paper Section VI-D2, X-B, X-C).
+
+Three pieces:
+
+* :func:`required_treelings` -- the paper's worst-case provisioning
+  formula  ``#tau = (D-1) + (M - (D-1)*4KB) / S``.
+* :func:`treelings_for_skewness` -- the empirical Fig. 21 model: the
+  number of TreeLings needed to host a set of domains whose footprints
+  follow a given skewness  ``S = M_max / M_total``.
+* :func:`static_success_rate` / :func:`ivleague_success_rate` -- the
+  Fig. 22 Monte-Carlo experiment: can a random assignment of domain
+  footprints be scheduled without swapping?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+PAGE = 4096
+
+
+def required_treelings(max_domains: int, memory_bytes: int,
+                       treeling_bytes: int) -> int:
+    """Worst-case #TreeLings for full coverage (paper's #tau formula).
+
+    Worst case: D-1 domains hold one 4KB page each (each pinning a whole
+    TreeLing), the last domain owns everything else.
+    """
+    if max_domains < 1 or treeling_bytes < PAGE:
+        raise ValueError("need >=1 domain and TreeLings >= one page")
+    d = max_domains
+    rest = memory_bytes - (d - 1) * PAGE
+    if rest < 0:
+        raise ValueError("more domains than pages of memory")
+    return (d - 1) + -(-rest // treeling_bytes)   # ceil division
+
+
+def random_footprints(n_domains: int, total_bytes: int, skewness: float,
+                      rng: np.random.Generator) -> np.ndarray:
+    """Random per-domain footprints with  M_max / M_total = skewness.
+
+    One domain takes ``skewness`` of the total; the remainder is split
+    by a symmetric Dirichlet draw (uniform simplex) over the others.
+    """
+    if not 0 < skewness <= 1:
+        raise ValueError("skewness must be in (0, 1]")
+    if n_domains == 1:
+        return np.array([total_bytes], dtype=np.int64)
+    big = skewness * total_bytes
+    rest = total_bytes - big
+    if rest < 0:
+        raise ValueError("skewness over 1")
+    shares = rng.dirichlet(np.ones(n_domains - 1)) * rest
+    out = np.concatenate([[big], shares])
+    # every live domain owns at least one page
+    return np.maximum(out.astype(np.int64), PAGE)
+
+
+def treelings_for_footprints(footprints: np.ndarray,
+                             treeling_bytes: int) -> int:
+    """TreeLings consumed: each domain rounds up to whole TreeLings."""
+    per_domain = -(-footprints // treeling_bytes)
+    return int(per_domain.sum())
+
+
+def treelings_for_skewness(treeling_bytes: int, memory_bytes: int,
+                           skewness: float, n_domains: int = 4096,
+                           trials: int = 32, seed: int = 9) -> float:
+    """Fig. 21: mean #TreeLings required across random footprint draws.
+
+    Domains beyond what memory can hold one page each are clamped.
+    """
+    rng = np.random.default_rng(seed)
+    n = min(n_domains, memory_bytes // PAGE)
+    needs = []
+    for _ in range(trials):
+        fp = random_footprints(n, memory_bytes, skewness, rng)
+        needs.append(treelings_for_footprints(fp, treeling_bytes))
+    return float(np.mean(needs))
+
+
+@dataclass
+class SuccessConfig:
+    """One Fig. 22 grid point."""
+
+    memory_bytes: int
+    n_domains: int
+    utilization: float          # sum(M_i) / memory
+    n_partitions: int = 4096    # static scheme partitions
+    n_treelings: int = 4096
+    treeling_bytes: int = 64 * 1024 * 1024
+
+
+def _draw_footprints(cfg: SuccessConfig,
+                     rng: np.random.Generator) -> np.ndarray:
+    total = int(cfg.memory_bytes * cfg.utilization)
+    shares = rng.dirichlet(np.ones(cfg.n_domains)) * total
+    return np.maximum(shares.astype(np.int64), PAGE)
+
+
+def static_success_rate(cfg: SuccessConfig, trials: int = 200,
+                        seed: int = 13) -> float:
+    """Fig. 22a: P(every domain fits its fixed partition).
+
+    Static partitioning succeeds iff ``forall i: M_i <= memory/P`` (and
+    there are enough partitions for the domains).
+    """
+    if cfg.n_domains > cfg.n_partitions:
+        return 0.0
+    part = cfg.memory_bytes / cfg.n_partitions
+    rng = np.random.default_rng(seed)
+    ok = 0
+    for _ in range(trials):
+        fp = _draw_footprints(cfg, rng)
+        if fp.max() <= part:
+            ok += 1
+    return ok / trials
+
+
+def ivleague_success_rate(cfg: SuccessConfig, trials: int = 200,
+                          seed: int = 13) -> float:
+    """Fig. 22b: P(TreeLing pool suffices for the same draws)."""
+    rng = np.random.default_rng(seed)
+    ok = 0
+    for _ in range(trials):
+        fp = _draw_footprints(cfg, rng)
+        if treelings_for_footprints(fp, cfg.treeling_bytes) \
+                <= cfg.n_treelings:
+            ok += 1
+    return ok / trials

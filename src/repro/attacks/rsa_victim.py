@@ -1,0 +1,50 @@
+"""Square-and-multiply RSA victim (paper Section IV).
+
+Models the vulnerable OpenSSL modular-exponentiation loop: for each
+exponent bit the victim *squares* (always) and *multiplies* (only when
+the bit is 1).  The sqr and mul routines live on distinct code/data
+pages, so the victim's per-bit page-access pattern is::
+
+    bit = 0:  [sqr]
+    bit = 1:  [sqr, mul]
+
+which is exactly the secret-dependent access pattern MetaLeak recovers
+through shared integrity-tree metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class VictimStep:
+    """Pages the victim touches while processing one exponent bit."""
+
+    bit: int
+    pages: tuple[str, ...]   # subset of ("sqr", "mul")
+
+
+class RsaVictim:
+    """Generates the page-access schedule of one exponentiation."""
+
+    def __init__(self, exponent_bits: list[int] | np.ndarray) -> None:
+        bits = [int(b) for b in exponent_bits]
+        if any(b not in (0, 1) for b in bits):
+            raise ValueError("exponent bits must be 0/1")
+        self.bits = bits
+
+    @classmethod
+    def random(cls, n_bits: int = 2048, seed: int = 42) -> "RsaVictim":
+        rng = np.random.default_rng(seed)
+        return cls(rng.integers(0, 2, size=n_bits).tolist())
+
+    def steps(self):
+        for bit in self.bits:
+            pages = ("sqr", "mul") if bit else ("sqr",)
+            yield VictimStep(bit, pages)
+
+    def __len__(self) -> int:
+        return len(self.bits)

@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+run         simulate one workload mix under one or all schemes
+attack      run the MetaLeak demonstration
+experiment  regenerate one paper table/figure by id (fig15, tab3, ...)
+ablations   run the beyond-the-paper ablation studies
+list        show available mixes, schemes and experiment ids
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_run(args) -> int:
+    from repro import ENGINES, build_mix, run_workload, scaled_config
+    cfg = scaled_config(n_cores=4)
+    workload = build_mix(args.mix, n_accesses=args.accesses)
+    schemes = [args.scheme] if args.scheme != "all" else list(ENGINES)
+    results = {}
+    for scheme in schemes:
+        results[scheme] = run_workload(
+            cfg, ENGINES[scheme], workload, warmup=args.accesses // 3,
+            frame_policy=args.frames)
+    base = results.get("baseline")
+    print(f"{'scheme':18s} {'IPC/core':>24s} {'path':>6s} {'DRAM':>9s}")
+    for scheme, r in results.items():
+        ipcs = " ".join(f"{c.ipc:.3f}" for c in r.cores)
+        print(f"{scheme:18s} {ipcs:>24s} "
+              f"{r.engine.avg_path_length:6.2f} "
+              f"{r.engine.total_dram_accesses:9d}"
+              + (f"  (weighted {r.weighted_ipc(base):.3f})"
+                 if base and scheme != "baseline" else ""))
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    from repro.experiments import fig03_attack
+    fig03_attack.main(n_bits=args.bits)
+    return 0
+
+
+_EXPERIMENTS = {
+    "fig3": "fig03_attack", "fig15": "fig15_weighted_ipc",
+    "fig16": "fig16_path_length", "fig17": "fig17_nfl",
+    "fig18": "fig18_nflb", "fig19": "fig19_mem_accesses",
+    "fig20": "fig20_sensitivity", "fig21": "fig21_treeling_count",
+    "fig22": "fig22_success_rate", "tab1": "tab01_config",
+    "tab2": "tab02_workloads", "tab3": "tab03_hwcost",
+    "comparators": "comparators",
+}
+
+
+def _cmd_experiment(args) -> int:
+    import importlib
+    mod_name = _EXPERIMENTS.get(args.id)
+    if mod_name is None:
+        print(f"unknown experiment {args.id!r}; "
+              f"known: {sorted(_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    module = importlib.import_module(f"repro.experiments.{mod_name}")
+    if args.id in ("fig3", "fig21", "fig22", "tab1", "tab2", "tab3"):
+        rows = module.main()
+    else:
+        rows = module.main(args.scale)
+    if args.export and isinstance(rows, list) and rows \
+            and isinstance(rows[0], dict):
+        from repro.analysis.export import rows_to_csv
+        path = rows_to_csv(rows, f"{args.export}/{args.id}.csv")
+        print(f"exported {path}")
+    return 0
+
+
+def _cmd_ablations(args) -> int:
+    from repro.experiments import ablations
+    ablations.main(args.scale)
+    return 0
+
+
+def _cmd_list(args) -> int:
+    from repro import ENGINES
+    from repro.workloads.mixes import MIXES, mix_footprint_pages
+    print("schemes:")
+    for s in ENGINES:
+        print(f"  {s}")
+    print("mixes (Table II):")
+    for mix, benches in MIXES.items():
+        print(f"  {mix}: {'-'.join(benches)} "
+              f"({mix_footprint_pages(mix)} pages)")
+    print("experiments:")
+    for eid in sorted(_EXPERIMENTS):
+        print(f"  {eid}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro", description="IvLeague reproduction CLI")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one mix")
+    run.add_argument("mix", help="Table II mix id, e.g. S-1")
+    run.add_argument("--scheme", default="all",
+                     choices=["all", "baseline", "ivleague-basic",
+                              "ivleague-invert", "ivleague-pro"])
+    run.add_argument("--accesses", type=int, default=12_000)
+    run.add_argument("--frames", default="fragmented",
+                     choices=["sequential", "fragmented", "random"])
+    run.set_defaults(func=_cmd_run)
+
+    atk = sub.add_parser("attack", help="MetaLeak demonstration")
+    atk.add_argument("--bits", type=int, default=128)
+    atk.set_defaults(func=_cmd_attack)
+
+    exp = sub.add_parser("experiment", help="regenerate a table/figure")
+    exp.add_argument("id", help="e.g. fig15, fig3, tab3")
+    exp.add_argument("--scale", default="quick",
+                     choices=["quick", "full"])
+    exp.add_argument("--export", default=None, metavar="DIR",
+                     help="also write the rows to DIR/<id>.csv")
+    exp.set_defaults(func=_cmd_experiment)
+
+    abl = sub.add_parser("ablations", help="beyond-the-paper sweeps")
+    abl.add_argument("--scale", default="quick",
+                     choices=["quick", "full"])
+    abl.set_defaults(func=_cmd_ablations)
+
+    lst = sub.add_parser("list", help="list mixes/schemes/experiments")
+    lst.set_defaults(func=_cmd_list)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early: not an error
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

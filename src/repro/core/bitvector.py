@@ -1,0 +1,160 @@
+"""Naive bit-vector slot allocators: BV-v1 and BV-v2 (paper Fig. 17a).
+
+These replace the NFL in the ablation of Section X-A3.  Each TreeLing has
+a flat bit vector with one bit per trackable slot ('1' = occupied).  A
+``head`` register remembers the last active position.
+
+* **BV-v1** reacts only to deallocations inside the *currently active*
+  TreeLing: frees in earlier TreeLings of the domain are lost, so those
+  slots are never reused.  Allocation scans only the current TreeLing.
+  Under churny workloads the domain burns through TreeLings and
+  eventually starves even though memory is free -- the paper reports it
+  "fails to accommodate leaf node mapping in all Medium and Large
+  workloads".
+* **BV-v2** tracks reclamation across all of the domain's TreeLings, so
+  an allocation may need a cross-TreeLing sequential scan for a free bit
+  -- correct but expensive (33-47% slowdown in the paper).
+
+Both report the bit-vector memory blocks they touched and the number of
+bits scanned, so the engine can charge scan latency and memory traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mem import spaces
+
+#: Bits per 64B bit-vector block.
+BITS_PER_BLOCK = 512
+
+
+@dataclass
+class BVOp:
+    ok: bool
+    node_global: int = -1
+    slot: int = -1
+    touched_blocks: tuple[int, ...] = ()
+    bits_scanned: int = 0
+    needs_treeling: bool = False
+    lost: bool = False      # deallocation dropped (BV-v1 cross-TreeLing)
+
+
+@dataclass
+class _Segment:
+    treeling: int
+    node_globals: list[int]
+    slots_per_node: int
+    occupied: "np.ndarray" = None
+
+    def __post_init__(self) -> None:
+        self.occupied = np.zeros(
+            len(self.node_globals) * self.slots_per_node, dtype=bool)
+
+    def slot_ref(self, bit: int) -> tuple[int, int]:
+        node_i, slot = divmod(bit, self.slots_per_node)
+        return self.node_globals[node_i], slot
+
+    def bit_of(self, node_global: int, slot: int) -> int:
+        node_i = self.node_globals.index(node_global)
+        return node_i * self.slots_per_node + slot
+
+    def block_addrs(self, lo_bit: int, hi_bit: int) -> list[int]:
+        lo_b = lo_bit // BITS_PER_BLOCK
+        hi_b = hi_bit // BITS_PER_BLOCK
+        return [spaces.tag(spaces.NFL, self.treeling * 1024 + b)
+                for b in range(lo_b, hi_b + 1)]
+
+
+class BitVectorAllocator:
+    """Common machinery for BV-v1/BV-v2; ``cross_treeling`` selects v2."""
+
+    def __init__(self, slots_per_node: int, cross_treeling: bool) -> None:
+        self.slots_per_node = slots_per_node
+        self.cross_treeling = cross_treeling
+        self._segments: list[_Segment] = []
+        self._node_seg: dict[int, int] = {}
+        self.head_seg = 0
+        self.head_bit = 0
+        self.lost_frees = 0
+
+    @property
+    def treelings(self) -> list[int]:
+        return [s.treeling for s in self._segments]
+
+    def append_treeling(self, treeling: int,
+                        node_globals: list[int]) -> None:
+        seg = _Segment(treeling, list(node_globals), self.slots_per_node)
+        for n in node_globals:
+            self._node_seg[n] = len(self._segments)
+        self._segments.append(seg)
+
+    # -- allocation ----------------------------------------------------------------
+
+    def _scan_segment(self, seg_i: int, start_bit: int) -> BVOp | None:
+        """Sequential scan for the first free bit (vectorised: the cost
+        model still charges the full scan length)."""
+        seg = self._segments[seg_i]
+        occ = seg.occupied
+        if start_bit >= len(occ):
+            return None
+        view = occ[start_bit:]
+        pos = int(np.argmin(view))   # first False, or 0 if none free
+        if view[pos]:
+            return None
+        bit = start_bit + pos
+        occ[bit] = True
+        node, slot = seg.slot_ref(bit)
+        return BVOp(True, node, slot,
+                    tuple(seg.block_addrs(start_bit, bit)),
+                    bits_scanned=pos + 1)
+
+    def alloc(self) -> BVOp:
+        if not self._segments:
+            return BVOp(False, needs_treeling=True)
+        if self.cross_treeling:
+            # BV-v2: scan every segment from the beginning.
+            scanned = 0
+            touched: list[int] = []
+            for seg_i in range(len(self._segments)):
+                op = self._scan_segment(seg_i, 0)
+                if op is not None:
+                    return BVOp(True, op.node_global, op.slot,
+                                tuple(touched) + op.touched_blocks,
+                                bits_scanned=scanned + op.bits_scanned)
+                seg = self._segments[seg_i]
+                scanned += len(seg.occupied)
+                touched.extend(seg.block_addrs(0, len(seg.occupied) - 1))
+            return BVOp(False, bits_scanned=scanned,
+                        touched_blocks=tuple(touched), needs_treeling=True)
+        # BV-v1: only the active (last) TreeLing, from the head position.
+        seg_i = len(self._segments) - 1
+        start = self.head_bit if seg_i == self.head_seg else 0
+        op = self._scan_segment(seg_i, min(start, 0) or 0)
+        op = op or self._scan_segment(seg_i, 0)
+        if op is None:
+            return BVOp(False, needs_treeling=True)
+        self.head_seg = seg_i
+        self.head_bit = 0
+        return op
+
+    # -- deallocation --------------------------------------------------------------
+
+    def free(self, node_global: int, slot: int) -> BVOp:
+        seg_i = self._node_seg.get(node_global)
+        if seg_i is None:
+            raise KeyError(f"node {node_global} not tracked")
+        active = len(self._segments) - 1
+        if not self.cross_treeling and seg_i != active:
+            # BV-v1 drops cross-TreeLing reclamation on the floor.
+            self.lost_frees += 1
+            return BVOp(True, node_global, slot, lost=True)
+        seg = self._segments[seg_i]
+        bit = seg.bit_of(node_global, slot)
+        if not seg.occupied[bit]:
+            raise ValueError("double free in bit-vector allocator")
+        seg.occupied[bit] = False
+        return BVOp(True, node_global, slot,
+                    tuple(seg.block_addrs(bit, bit)))

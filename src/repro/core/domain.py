@@ -1,0 +1,84 @@
+"""IV Domain Controller (paper Section VI-D, Fig. 5 right).
+
+Owns the on-chip *Unassigned TreeLing* FIFO and the *Assignment Table*
+mapping domains to their TreeLings.  TreeLings are handed out on demand
+when a domain's NFL chain is exhausted and returned when the domain is
+destroyed.  Starvation (the FIFO running dry while memory is free) is the
+failure mode Section VI-D2 and Fig. 21/22 analyse.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class TreeLingStarvation(RuntimeError):
+    """No TreeLing is available for a new assignment."""
+
+
+class DomainLimitExceeded(RuntimeError):
+    """More live domains than the hardware supports (2^12 contexts)."""
+
+
+class IVDomainController:
+    """Tracks TreeLing ownership across IV domains."""
+
+    def __init__(self, n_treelings: int, max_domains: int = 4096) -> None:
+        if n_treelings < 1:
+            raise ValueError("need at least one TreeLing")
+        self.n_treelings = n_treelings
+        self.max_domains = max_domains
+        self._unassigned: deque[int] = deque(range(n_treelings))
+        self._assignment: dict[int, list[int]] = {}
+        self.assignments = 0
+        self.releases = 0
+
+    # -- domain lifecycle -----------------------------------------------------------
+
+    def create_domain(self, domain_id: int) -> None:
+        if domain_id in self._assignment:
+            raise ValueError(f"domain {domain_id} already exists")
+        if len(self._assignment) >= self.max_domains:
+            raise DomainLimitExceeded(
+                f"hardware supports at most {self.max_domains} IV domains")
+        self._assignment[domain_id] = []
+
+    def destroy_domain(self, domain_id: int) -> list[int]:
+        """Return the domain's TreeLings to the free FIFO."""
+        treelings = self._assignment.pop(domain_id)
+        for t in treelings:
+            self._unassigned.append(t)
+            self.releases += 1
+        return treelings
+
+    # -- TreeLing assignment -----------------------------------------------------------
+
+    def assign_treeling(self, domain_id: int) -> int:
+        if domain_id not in self._assignment:
+            raise KeyError(f"unknown domain {domain_id}")
+        if not self._unassigned:
+            raise TreeLingStarvation(
+                "no unassigned TreeLing left (starvation)")
+        t = self._unassigned.popleft()
+        self._assignment[domain_id].append(t)
+        self.assignments += 1
+        return t
+
+    # -- introspection -------------------------------------------------------------------
+
+    def treelings_of(self, domain_id: int) -> list[int]:
+        return list(self._assignment[domain_id])
+
+    def owner_of(self, treeling: int) -> int | None:
+        for d, ts in self._assignment.items():
+            if treeling in ts:
+                return d
+        return None
+
+    @property
+    def unassigned_count(self) -> int:
+        return len(self._unassigned)
+
+    @property
+    def live_domains(self) -> int:
+        return len(self._assignment)

@@ -1,0 +1,165 @@
+"""Functional IvLeague forest: real per-TreeLing hash trees.
+
+The timing engines track *which* blocks move; this model tracks *what
+the hashes are*: every TreeLing is a real hash tree whose root digest is
+held in trusted (on-chip) storage, pages map dynamically to slots, and
+Invert-style intermediate-node mapping is supported.  It provides the
+executable form of the paper's security argument (Section VIII):
+
+* pages of different domains live in different TreeLings;
+* TreeLings share no nodes (disjoint digest state);
+* verification never consults another domain's state, so one domain's
+  operations cannot change what another domain observes -- asserted
+  directly by the test-suite via state snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.domain import IVDomainController
+from repro.core.treeling import SlotRef, TreeLingGeometry
+from repro.secure.crypto import keyed_hash
+
+
+class ForestTamperDetected(Exception):
+    """A TreeLing digest check failed."""
+
+
+@dataclass
+class _TreeLingState:
+    """One TreeLing's functional state: per-slot child digests."""
+
+    # (local_node, slot) -> digest of whatever the slot covers
+    slots: dict[tuple[int, int], bytes] = field(default_factory=dict)
+    # trusted root: digest over the root node, kept "on chip"
+    trusted_root: bytes = b""
+
+
+class IvLeagueForest:
+    """Dynamic forest of isolated per-domain integrity trees."""
+
+    HASH_BYTES = 8
+
+    def __init__(self, geometry: TreeLingGeometry, n_treelings: int,
+                 max_domains: int = 4096,
+                 key: bytes = b"ivleague-forest") -> None:
+        self.geo = geometry
+        self.pool = IVDomainController(n_treelings, max_domains)
+        self._key = key
+        self._state: dict[int, _TreeLingState] = {}
+        self._slot_of_page: dict[int, SlotRef] = {}
+        self._domain_of_page: dict[int, int] = {}
+
+    # -- hashing ------------------------------------------------------------------
+
+    def _page_digest(self, pfn: int, payload: bytes) -> bytes:
+        return keyed_hash(self._key, b"page", pfn.to_bytes(8, "little"),
+                          payload, digest_size=self.HASH_BYTES)
+
+    def _node_digest(self, treeling: int, level: int, index: int) -> bytes:
+        """Digest over a node block = hash of its slot digests."""
+        st = self._state[treeling]
+        local = self.geo.local_node(level, index)
+        parts = []
+        for slot in range(self.geo.arity):
+            parts.append(st.slots.get((local, slot), b"\x00" * 8))
+        return keyed_hash(self._key, b"node",
+                          treeling.to_bytes(4, "little"),
+                          local.to_bytes(4, "little"),
+                          b"".join(parts), digest_size=self.HASH_BYTES)
+
+    def _refresh_to_root(self, ref: SlotRef) -> None:
+        """Recompute ancestor slot digests up to the trusted root."""
+        st = self._state[ref.treeling]
+        level, index = ref.level, ref.node_index
+        while level < self.geo.height:
+            digest = self._node_digest(ref.treeling, level, index)
+            plevel, pindex, pslot = self.geo.parent_of(level, index)
+            plocal = self.geo.local_node(plevel, pindex)
+            st.slots[(plocal, pslot)] = digest
+            level, index = plevel, pindex
+        st.trusted_root = self._node_digest(ref.treeling, self.geo.height, 0)
+
+    # -- domain / page lifecycle ------------------------------------------------------
+
+    def create_domain(self, domain: int) -> None:
+        self.pool.create_domain(domain)
+
+    def destroy_domain(self, domain: int) -> None:
+        for t in self.pool.destroy_domain(domain):
+            self._state.pop(t, None)
+        for pfn in [p for p, d in self._domain_of_page.items()
+                    if d == domain]:
+            del self._domain_of_page[pfn]
+            del self._slot_of_page[pfn]
+
+    def attach_page(self, domain: int, pfn: int, ref: SlotRef,
+                    payload: bytes = b"") -> None:
+        """Map ``pfn`` to slot ``ref`` and install its digest."""
+        owner = self.pool.owner_of(ref.treeling)
+        if owner is None:
+            got = self.pool.assign_treeling(domain)
+            while got != ref.treeling:
+                # pool hands TreeLings out FIFO; keep what we got and
+                # re-target the caller's ref onto it
+                ref = SlotRef(got, ref.level, ref.node_index, ref.slot)
+                break
+        elif owner != domain:
+            raise PermissionError(
+                f"TreeLing {ref.treeling} belongs to domain {owner}")
+        st = self._state.setdefault(ref.treeling, _TreeLingState())
+        local = self.geo.local_node(ref.level, ref.node_index)
+        if (local, ref.slot) in st.slots:
+            raise ValueError(f"slot {ref} already occupied")
+        st.slots[(local, ref.slot)] = self._page_digest(pfn, payload)
+        self._slot_of_page[pfn] = ref
+        self._domain_of_page[pfn] = domain
+        self._refresh_to_root(ref)
+
+    def detach_page(self, pfn: int) -> None:
+        ref = self._slot_of_page.pop(pfn)
+        self._domain_of_page.pop(pfn)
+        st = self._state[ref.treeling]
+        local = self.geo.local_node(ref.level, ref.node_index)
+        del st.slots[(local, ref.slot)]
+        self._refresh_to_root(ref)
+
+    def update_page(self, pfn: int, payload: bytes) -> None:
+        """A write: refresh the page digest and the path to the root."""
+        ref = self._slot_of_page[pfn]
+        st = self._state[ref.treeling]
+        local = self.geo.local_node(ref.level, ref.node_index)
+        st.slots[(local, ref.slot)] = self._page_digest(pfn, payload)
+        self._refresh_to_root(ref)
+
+    # -- verification -------------------------------------------------------------------
+
+    def verify_page(self, pfn: int, payload: bytes) -> None:
+        """Recompute the path and compare against the trusted root."""
+        ref = self._slot_of_page[pfn]
+        st = self._state[ref.treeling]
+        local = self.geo.local_node(ref.level, ref.node_index)
+        if st.slots.get((local, ref.slot)) != \
+                self._page_digest(pfn, payload):
+            raise ForestTamperDetected(f"page {pfn} digest mismatch")
+        if self._node_digest(ref.treeling, self.geo.height, 0) \
+                != st.trusted_root:
+            raise ForestTamperDetected(
+                f"TreeLing {ref.treeling} root mismatch")
+
+    # -- adversary / introspection ---------------------------------------------------------
+
+    def tamper_slot(self, treeling: int, level: int, index: int,
+                    slot: int, raw: bytes) -> None:
+        local = self.geo.local_node(level, index)
+        self._state[treeling].slots[(local, slot)] = raw
+
+    def snapshot(self, domain: int) -> dict:
+        """Hashable view of everything a domain's verification can see."""
+        out = {}
+        for t in self.pool.treelings_of(domain):
+            st = self._state.get(t)
+            if st is not None:
+                out[t] = (dict(st.slots), st.trusted_root)
+        return out

@@ -1,0 +1,135 @@
+"""Hotpage access-frequency tracker (paper Section VII-B, Fig. 14a).
+
+An n-entry table in the memory controller: each entry holds a PFN and a
+saturating counter.  On access, the page's counter increments; when the
+page is absent and the table is full, the entry with the smallest counter
+is replaced (paper's replacement rule).  A page whose counter reaches the
+threshold is reported as a promotion candidate.  All counters are cleared
+every ``clear_interval`` accesses; hot pages that cooled down (counter
+below half the threshold at clear time) are reported for demotion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TrackerEvent:
+    promote: list[int]
+    demote: list[int]
+
+
+class HotpageTracker:
+    """Per-domain n-entry saturating-counter tracker."""
+
+    def __init__(self, entries: int, counter_max: int, threshold: int,
+                 clear_interval: int) -> None:
+        if threshold > counter_max:
+            raise ValueError("threshold exceeds the counter range")
+        self.entries = entries
+        self.counter_max = counter_max
+        self.threshold = threshold
+        self.clear_interval = clear_interval
+        self._table: dict[int, int] = {}
+        self._hot: set[int] = set()
+        #: Pages that crossed the threshold in the current / previous
+        #: interval: promotion requires two consecutive hot intervals,
+        #: which filters one-burst streaming pages out (a page a scan
+        #: sweeps through looks locally hot but never recurs).
+        self._candidates: set[int] = set()
+        self._prev_candidates: set[int] = set()
+        self._cooling: set[int] = set()
+        self._touched: set[int] = set()
+        self._accesses_since_clear = 0
+        self.replacements = 0
+        self.clears = 0
+
+    # -- queries ---------------------------------------------------------------------
+
+    @property
+    def hot_pages(self) -> frozenset[int]:
+        return frozenset(self._hot)
+
+    def is_hot(self, pfn: int) -> bool:
+        return pfn in self._hot
+
+    def count_of(self, pfn: int) -> int:
+        return self._table.get(pfn, 0)
+
+    # -- updates ---------------------------------------------------------------------
+
+    def access(self, pfn: int) -> TrackerEvent:
+        """Record one access; returns promotion/demotion requests."""
+        promote: list[int] = []
+        demote: list[int] = []
+        count = self._table.get(pfn)
+        if count is None:
+            if len(self._table) >= self.entries:
+                # Evict the coldest *non-hot* entry; established hotpages
+                # are only displaced when nothing else is available.
+                victim = min(self._table,
+                             key=lambda p: (p in self._hot,
+                                            self._table[p]))
+                del self._table[victim]
+                self.replacements += 1
+                if victim in self._hot:
+                    self._hot.discard(victim)
+                    demote.append(victim)
+            self._table[pfn] = 1
+        else:
+            self._table[pfn] = min(count + 1, self.counter_max)
+        self._touched.add(pfn)
+        if (self._table[pfn] >= self.threshold
+                and pfn not in self._hot):
+            self._candidates.add(pfn)
+            if pfn in self._prev_candidates:
+                self._hot.add(pfn)
+                promote.append(pfn)
+        self._accesses_since_clear += 1
+        if self._accesses_since_clear >= self.clear_interval:
+            demote.extend(self._clear())
+        return TrackerEvent(promote, demote)
+
+    def _clear(self) -> list[int]:
+        """Periodic counter decay; cooled-down hot pages demote.
+
+        Counters are halved rather than zeroed so that relative hotness
+        survives the interval boundary (a page must fall cold for two
+        consecutive intervals before demotion)."""
+        self.clears += 1
+        self._accesses_since_clear = 0
+        # Demotion is lazy: a hot page must go *untouched* for two
+        # consecutive intervals (symmetric with two-interval promotion).
+        cold_now = {p for p in self._hot if p not in self._touched}
+        cooled = [p for p in cold_now if p in self._cooling]
+        self._cooling = cold_now - set(cooled)
+        for p in cooled:
+            self._hot.discard(p)
+            self._table.pop(p, None)
+        self._prev_candidates = self._candidates
+        self._candidates = set()
+        self._touched = set()
+        self._table = {p: max(1, c // 2) for p, c in self._table.items()
+                       if c > 1 or p in self._hot}
+        return cooled
+
+    def forget(self, pfn: int) -> None:
+        """Drop a page entirely (page freed / migrated away)."""
+        self._table.pop(pfn, None)
+        self._hot.discard(pfn)
+
+    def force_demote(self, pfn: int) -> None:
+        """Engine-side demotion (e.g. hot region pressure)."""
+        self._hot.discard(pfn)
+
+    def coldest_hot(self) -> int | None:
+        if not self._hot:
+            return None
+        return min(self._hot, key=lambda p: self._table.get(p, 0))
+
+    @property
+    def storage_bits(self) -> int:
+        """On-chip cost: PFN tag (~44b) + counter bits per entry."""
+        counter_bits = self.counter_max.bit_length()
+        return self.entries * (44 + counter_bits)

@@ -1,0 +1,254 @@
+"""IvLeague-Basic: isolated dynamic integrity trees (paper Section VI).
+
+The global tree is split into TreeLings; a domain receives TreeLings on
+demand from the IV domain controller and maps each allocated page to a
+TreeLing *leaf* slot through the NFL.  The page-to-slot mapping is the
+LMM (cached on-chip; authoritative copy in the extended page table).
+All nodes at or above the TreeLing-root boundary are locked on-chip,
+which (a) terminates every verification on-chip without sharing any
+in-memory node across domains and (b) reduces the tree cache's effective
+capacity -- both modelled here.
+"""
+
+from __future__ import annotations
+
+from repro.core.domain import IVDomainController
+from repro.core.lmm import LeafMap, LMMCache
+from repro.core.nfl import ChainedNFL, NFLBuffer, NFLOp
+from repro.core.treeling import SlotRef, TreeLingGeometry
+from repro.mem import spaces
+from repro.mem.mirage import make_cache
+from repro.secure.engine import SecureMemoryEngine
+from repro.sim.config import BLOCK_BYTES, MachineConfig, TREE_ARITY
+
+
+class IvLeagueBasicEngine(SecureMemoryEngine):
+    """IvLeague with leaf-only page mapping (no Invert/Pro)."""
+
+    name = "ivleague-basic"
+    #: Extra tree levels the paper charges to IvLeague for the global
+    #: expansion (6 -> 7 levels): modelled as one extra serialized hash
+    #: on every tree fill that reaches the TreeLing root.
+    uses_inverted_allocation = False
+
+    def __init__(self, config: MachineConfig, seed: int = 11) -> None:
+        iv = config.ivleague
+        self.geometry = TreeLingGeometry(iv.treeling_height)
+        super().__init__(config, seed)
+        self.pool = IVDomainController(iv.n_treelings, iv.max_domains)
+        self.leafmap = LeafMap()
+        self.lmm_cache = LMMCache(iv.lmm_entries, iv.lmm_assoc)
+        self._chains: dict[int, ChainedNFL] = {}
+        self._nflb: dict[int, NFLBuffer] = {}
+        self._slot_pfn: dict[int, int] = {}
+        self._parent_slots: set[int] = set()
+        self._domain_of_treeling: dict[int, int] = {}
+
+    # -- tree cache with root locking ----------------------------------------------
+
+    def _build_tree_cache(self, seed: int):
+        cfg = self.config.secure.tree_cache
+        locked = self.geometry.locked_blocks_above_roots(
+            self.config.ivleague.n_treelings)
+        locked_bytes = locked * BLOCK_BYTES
+        usable = max(cfg.assoc * BLOCK_BYTES, cfg.size_bytes - locked_bytes)
+        shrunk = type(cfg)(size_bytes=usable, assoc=cfg.assoc,
+                           hit_latency=cfg.hit_latency,
+                           block_bytes=cfg.block_bytes,
+                           randomized=cfg.randomized)
+        self.locked_tree_blocks = locked
+        return make_cache(shrunk, "tree$", seed=seed * 3)
+
+    # -- NFL plumbing ------------------------------------------------------------------
+
+    def _node_order(self, treeling: int) -> list[int]:
+        """Node blocks the NFL tracks for a fresh TreeLing: Basic tracks
+        the leaf level only, left to right (static page->leaf mapping
+        replaced by dynamic leaf-slot allocation)."""
+        geo = self.geometry
+        base = treeling * geo.nodes_per_treeling
+        return [base + geo.local_node(1, i)
+                for i in range(geo.level_nodes[1])]
+
+    def _initial_avail(self, treeling: int) -> list[int] | None:
+        return None
+
+    def _on_treeling_attached(self, domain: int, treeling: int) -> None:
+        self._domain_of_treeling[treeling] = domain
+
+    def _chain_of(self, domain: int) -> ChainedNFL:
+        chain = self._chains.get(domain)
+        if chain is None:
+            raise KeyError(f"domain {domain} was never started")
+        return chain
+
+    def _nfl_charge(self, domain: int, touched: tuple[int, ...],
+                    now: float) -> float:
+        """Charge NFLB lookups for the NFL blocks an operation touched."""
+        nflb = self._nflb[domain]
+        lat = 0.0
+        for addr in touched:
+            hit, evicted = nflb.access(addr)
+            if hit:
+                self.stats.nflb_hits += 1
+            else:
+                self.stats.nflb_misses += 1
+                lat += self._mread(addr, now + lat)
+            if evicted is not None:
+                self._mwrite(evicted, now + lat)
+        return lat
+
+    # -- domain lifecycle -----------------------------------------------------------------
+
+    def on_domain_start(self, domain: int) -> None:
+        super().on_domain_start(domain)
+        if domain in self._chains:
+            return
+        self.pool.create_domain(domain)
+        self._chains[domain] = ChainedNFL()
+        self._nflb[domain] = NFLBuffer(self.config.ivleague.nflb_entries)
+
+    def on_domain_end(self, domain: int) -> None:
+        self.pool.destroy_domain(domain)
+        self._chains.pop(domain, None)
+        self._nflb.pop(domain, None)
+
+    # -- page lifecycle ---------------------------------------------------------------------
+
+    def _alloc_from(self, domain: int, chain: ChainedNFL, now: float,
+                    allow_grow: bool) -> tuple[NFLOp, float]:
+        """NFL allocation; optionally attaches TreeLings on exhaustion."""
+        lat = 0.0
+        while True:
+            op = chain.alloc()
+            lat += self._nfl_charge(domain, op.touched_blocks, now + lat)
+            if op.ok or not allow_grow:
+                return op, lat
+            treeling = self.pool.assign_treeling(domain)
+            chain.append_treeling(treeling, self._node_order(treeling),
+                                  self._initial_avail(treeling))
+            self._on_treeling_attached(domain, treeling)
+
+    def _alloc_slot(self, domain: int, chain: ChainedNFL,
+                    now: float) -> tuple[NFLOp, float]:
+        """NFL allocation, attaching TreeLings until a slot is found."""
+        return self._alloc_from(domain, chain, now, allow_grow=True)
+
+    def _post_alloc(self, domain: int, chain: ChainedNFL, op: NFLOp,
+                    now: float) -> tuple[NFLOp, float]:
+        """Hook for IvLeague-Invert's slot-to-parent conversion."""
+        return op, 0.0
+
+    def on_page_alloc(self, domain: int, pfn: int, now: float) -> float:
+        self.stats.page_allocs += 1
+        chain = self._chain_of(domain)
+        op, lat = self._alloc_slot(domain, chain, now)
+        op, extra = self._post_alloc(domain, chain, op, now + lat)
+        lat += extra
+        slot_id = op.node_global * TREE_ARITY + op.slot
+        self.leafmap.set(pfn, slot_id)
+        self._slot_pfn[slot_id] = pfn
+        self.lmm_cache.insert(pfn, slot_id)
+        # The LMM field is written as part of the same PTE store the OS
+        # issues for the mapping itself, so no extra memory write is
+        # charged here (it would be common to every scheme).
+        return lat
+
+    def on_page_free(self, domain: int, pfn: int, now: float) -> float:
+        self.stats.page_frees += 1
+        self._page_writes.pop(pfn, None)
+        slot_id = self.leafmap.pop(pfn)
+        self._slot_pfn.pop(slot_id, None)
+        self.lmm_cache.invalidate(pfn)
+        node_global, slot = divmod(slot_id, TREE_ARITY)
+        chain = self._free_chain_for(domain, node_global)
+        op = chain.free(node_global, slot)
+        return self._nfl_charge(domain, op.touched_blocks, now)
+
+    def _free_chain_for(self, domain: int, node_global: int) -> ChainedNFL:
+        """Hook: Pro routes hot-region nodes to the hot NFL."""
+        return self._chain_of(domain)
+
+    # -- verification -----------------------------------------------------------------------
+
+    def _lmm_lookup(self, pfn: int, now: float) -> tuple[int, float]:
+        """On-chip LMM cache probe; a miss reads the PTE block."""
+        iv = self.config.ivleague
+        cached = self.lmm_cache.lookup(pfn)
+        if cached is not None:
+            self.stats.lmm_hits += 1
+            return cached, float(iv.lmm_hit_latency)
+        self.stats.lmm_misses += 1
+        lat = self._mread(self.leafmap.pte_block_addr(pfn), now)
+        slot_id = self.leafmap.get(pfn)
+        self.lmm_cache.insert(pfn, slot_id)
+        return slot_id, lat
+
+    def _resolve_slot(self, pfn: int, slot_id: int,
+                      now: float) -> tuple[SlotRef, float]:
+        """Follow a stale LMM entry through ``is_parent`` flags
+        (IvLeague-Invert lazy fix-up, Fig. 12c)."""
+        lat = 0.0
+        if self.leafmap.is_stale(pfn):
+            # The stale slot became a parent; the hardware reads the old
+            # node, sees rho=1 and descends to the child's relocated slot,
+            # then rewrites the LMM.
+            true_slot = self.leafmap.get(pfn)
+            ref = self.geometry.decode_slot(true_slot)
+            node_addr = self.geometry.slot_node_addr(ref)
+            if not self.tree_cache.lookup(node_addr):
+                lat += self._mread(node_addr, now)
+                self._fill(self.tree_cache, node_addr, now + lat)
+            self.leafmap.clear_stale(pfn)
+            self.lmm_cache.insert(pfn, true_slot)
+            self._mwrite(self.leafmap.pte_block_addr(pfn), now + lat)
+            return ref, lat
+        return self.geometry.decode_slot(slot_id), lat
+
+    def _verify_path(self, domain: int, pfn: int, now: float,
+                     for_write: bool) -> float:
+        sec = self.config.secure
+        if pfn not in self.leafmap:
+            # Late write-back of a block whose page was already freed: the
+            # slot was reclaimed on free, so there is nothing to verify.
+            return 0.0
+        ctr_addr = spaces.tag(spaces.COUNTER, pfn)
+        if self.counter_cache.lookup(ctr_addr, is_write=for_write):
+            self.stats.counter_hits += 1
+            return float(sec.counter_cache.hit_latency)
+        self.stats.counter_misses += 1
+        clock = now
+        slot_id, lmm_lat = self._lmm_lookup(pfn, clock)
+        clock += lmm_lat
+        ref, fix_lat = self._resolve_slot(pfn, slot_id, clock)
+        clock += fix_lat
+        clock += self._mread(ctr_addr, clock)
+        geo = self.geometry
+        visited = 1
+        level, index = ref.level, ref.node_index
+        while level <= geo.height:
+            addr = geo.node_addr(ref.treeling, level, index)
+            if self.tree_cache.lookup(addr, is_write=for_write):
+                break  # trusted on-chip copy terminates the walk
+            visited += 1
+            self.stats.tree_node_dram_reads += 1
+            clock += self._mread(addr, clock) + sec.hash_latency
+            self._fill(self.tree_cache, addr, clock, dirty=for_write)
+            level, index = level + 1, index // geo.arity
+        # level > height: verified against the locked (on-chip) parent of
+        # the TreeLing root -- no in-memory sharing with other domains.
+        self._record_path(domain, visited)
+        self._fill(self.counter_cache, ctr_addr, clock, dirty=for_write)
+        return clock - now
+
+    # -- Fig. 17b metrics -----------------------------------------------------------------------
+
+    def untracked_slots(self) -> int:
+        return sum(c.leaked_slots for c in self._chains.values())
+
+    def treeling_utilization(self) -> float:
+        """1 - untracked/total over all allocated TreeLings (Fig. 17b)."""
+        total = sum(c.total_slots() for c in self._chains.values())
+        if total == 0:
+            return 1.0
+        return 1.0 - self.untracked_slots() / total

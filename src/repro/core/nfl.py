@@ -1,0 +1,259 @@
+"""Node Free-List (NFL) and the on-chip NFL buffer (NFLB).
+
+Faithful implementation of paper Section VI-C1 / Figures 7-8:
+
+* One NFL *entry* per tracked TreeLing node block: a tag (which node the
+  entry tracks) plus an availability bit-vector (one bit per hash slot).
+* Entries pack 8 per 64B in-memory NFL block; a ``head`` register points
+  at the block currently being allocated from.
+* **Allocation** takes a free slot from the head block; when the head
+  block is fully assigned the head advances (Fig. 8c) -- the invariant
+  that all blocks before the head are fully assigned guarantees O(1)
+  allocation.
+* **Deallocation** of slot ``s`` of node ``N``: update N's entry if it is
+  in the head block (Fig. 8d); otherwise overwrite a fully-assigned entry
+  in the head block (Fig. 8e); otherwise move the head back one block and
+  overwrite there (Fig. 8f).  When the head is already at the very first
+  block of the domain's *first* TreeLing, the freed slot becomes
+  *untracked* (leaked) -- the quantity Fig. 17b reports.
+
+A domain's TreeLings form one logical chain (paper: "IvLeague can utilize
+the NFL from the previous TreeLing assigned to the same IV domain"), so
+the head walks a concatenated NFL across all TreeLings of the domain.
+
+Every operation reports the NFL blocks it touched so the engine can charge
+NFLB hits/misses and memory traffic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mem import spaces
+from repro.sim.config import NFL_ENTRIES_PER_BLOCK, TREE_ARITY
+
+FULL_MASK = (1 << TREE_ARITY) - 1
+
+
+@dataclass
+class NFLOp:
+    """Outcome of one NFL operation."""
+
+    ok: bool
+    node_global: int = -1      # treeling * nodes_per_treeling + local
+    slot: int = -1
+    touched_blocks: tuple[int, ...] = ()   # tagged NFL block addresses
+    leaked: bool = False
+    needs_treeling: bool = False
+
+
+@dataclass
+class _TreelingSegment:
+    """One TreeLing's contribution to the chain."""
+
+    treeling: int
+    node_globals: list[int]
+    first_block: int   # chain-global index of its first NFL block
+    n_blocks: int
+
+
+class ChainedNFL:
+    """The NFL chain of one IV domain."""
+
+    def __init__(self, arity: int = TREE_ARITY) -> None:
+        self.arity = arity
+        self.full = (1 << arity) - 1
+        # Entry storage, chain-global: parallel lists.
+        self._tags: list[int] = []       # node_global tracked by the entry
+        self._avail: list[int] = []      # availability bit-vector
+        self._segments: list[_TreelingSegment] = []
+        self.head_block = 0
+        self.leaked_slots = 0
+
+    # -- shape -------------------------------------------------------------------
+
+    @property
+    def n_entries(self) -> int:
+        return len(self._tags)
+
+    @property
+    def n_blocks(self) -> int:
+        return (self.n_entries + NFL_ENTRIES_PER_BLOCK - 1) \
+            // NFL_ENTRIES_PER_BLOCK
+
+    def _block_entries(self, block: int) -> range:
+        lo = block * NFL_ENTRIES_PER_BLOCK
+        return range(lo, min(lo + NFL_ENTRIES_PER_BLOCK, self.n_entries))
+
+    def block_addr(self, block: int) -> int:
+        """Tagged physical address of a chain NFL block.
+
+        Each TreeLing owns a fixed NFL region; the chain block maps back
+        to (treeling, local block) for addressing.
+        """
+        for seg in reversed(self._segments):
+            if block >= seg.first_block:
+                local = block - seg.first_block
+                return spaces.tag(
+                    spaces.NFL, seg.treeling * 1024 + local)
+        raise IndexError(f"chain block {block} not backed by a TreeLing")
+
+    # -- TreeLing management --------------------------------------------------------
+
+    def append_treeling(self, treeling: int,
+                        node_globals: list[int],
+                        initial_avail: Optional[list[int]] = None) -> None:
+        """Attach a new TreeLing's node blocks to the end of the chain.
+
+        ``initial_avail`` lets IvLeague-Pro pre-reserve slots (hot region)
+        or Invert mark conversion slots; default = all slots free.
+        """
+        if not node_globals:
+            raise ValueError("a TreeLing must contribute at least one node")
+        # Pad the previous segment's last block: segments start on block
+        # boundaries so NFL blocks never span TreeLings.
+        while self.n_entries % NFL_ENTRIES_PER_BLOCK:
+            self._tags.append(-1)
+            self._avail.append(0)
+        first_block = self.n_blocks
+        self._tags.extend(node_globals)
+        if initial_avail is None:
+            self._avail.extend([self.full] * len(node_globals))
+        else:
+            if len(initial_avail) != len(node_globals):
+                raise ValueError("initial_avail length mismatch")
+            self._avail.extend(initial_avail)
+        n_blocks = self.n_blocks - first_block
+        self._segments.append(
+            _TreelingSegment(treeling, node_globals, first_block, n_blocks))
+
+    @property
+    def treelings(self) -> list[int]:
+        return [s.treeling for s in self._segments]
+
+    # -- allocation -------------------------------------------------------------------
+
+    def alloc(self) -> NFLOp:
+        """Take one free slot at the head (Fig. 8b/8c)."""
+        touched = []
+        block = self.head_block
+        while block < self.n_blocks:
+            touched.append(self.block_addr(block))
+            for e in self._block_entries(block):
+                if self._avail[e]:
+                    slot = (self._avail[e] & -self._avail[e]).bit_length() - 1
+                    self._avail[e] &= ~(1 << slot)
+                    self.head_block = block
+                    return NFLOp(True, self._tags[e], slot, tuple(touched))
+            block += 1
+        # Chain exhausted: the caller must attach a new TreeLing.
+        self.head_block = self.n_blocks
+        return NFLOp(False, touched_blocks=tuple(touched),
+                     needs_treeling=True)
+
+    # -- deallocation ------------------------------------------------------------------
+
+    def free(self, node_global: int, slot: int) -> NFLOp:
+        """Return slot ``slot`` of ``node_global`` to the free pool."""
+        bit = 1 << slot
+        touched = []
+        block = min(self.head_block, self.n_blocks - 1)
+        if block < 0:
+            self.leaked_slots += 1
+            return NFLOp(True, node_global, slot, (), leaked=True)
+        touched.append(self.block_addr(block))
+        entries = self._block_entries(block)
+        # Fig. 8d: in-place update when the entry is in the head block.
+        for e in entries:
+            if self._tags[e] == node_global:
+                self._avail[e] |= bit
+                return NFLOp(True, node_global, slot, tuple(touched))
+        # Fig. 8e: reuse a fully-assigned entry in the head block.
+        for e in entries:
+            if self._tags[e] != -1 and self._avail[e] == 0:
+                self._tags[e] = node_global
+                self._avail[e] = bit
+                return NFLOp(True, node_global, slot, tuple(touched))
+        # Fig. 8f: move the head back one block and reuse an entry there.
+        if block > 0:
+            self.head_block = block - 1
+            touched.append(self.block_addr(self.head_block))
+            for e in self._block_entries(self.head_block):
+                if self._tags[e] != -1 and self._avail[e] == 0:
+                    self._tags[e] = node_global
+                    self._avail[e] = bit
+                    return NFLOp(True, node_global, slot, tuple(touched))
+            # All entries in the previous block track partially-free nodes
+            # (possible after heavy churn): give up and leak the slot.
+        self.leaked_slots += 1
+        return NFLOp(True, node_global, slot, tuple(touched), leaked=True)
+
+    # -- targeted reservation (IvLeague-Invert conversion) -------------------------------
+
+    def reserve(self, node_global: int, slot: int) -> NFLOp:
+        """Consume a *specific* slot (parent-slot conversion of a free
+        slot).  If no live entry tracks the slot it was already untracked
+        and the reservation is free."""
+        bit = 1 << slot
+        for e in range(self.n_entries):
+            if self._tags[e] == node_global and self._avail[e] & bit:
+                self._avail[e] &= ~bit
+                block = e // NFL_ENTRIES_PER_BLOCK
+                return NFLOp(True, node_global, slot,
+                             (self.block_addr(block),))
+        return NFLOp(True, node_global, slot, ())
+
+    # -- introspection -------------------------------------------------------------------
+
+    def total_slots(self) -> int:
+        """Slots contributed by attached TreeLings (padding excluded)."""
+        return sum(len(s.node_globals) for s in self._segments) * self.arity
+
+    def tracked_free_slots(self) -> int:
+        return sum(a.bit_count() for a in self._avail)
+
+    def is_exhausted(self) -> bool:
+        return (self.head_block >= self.n_blocks
+                or all(self._avail[e] == 0
+                       for b in range(self.head_block, self.n_blocks)
+                       for e in self._block_entries(b)))
+
+
+class NFLBuffer:
+    """On-chip CAM buffer caching recently used NFL blocks (per domain)."""
+
+    def __init__(self, entries: int) -> None:
+        self.entries = entries
+        self._lru: OrderedDict[int, bool] = OrderedDict()  # addr -> dirty
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def access(self, addr: int,
+               dirty: bool = True) -> tuple[bool, Optional[int]]:
+        """Touch an NFL block.
+
+        Returns ``(hit, evicted_dirty_addr)`` -- the caller charges a
+        memory read on miss and a posted write for a dirty eviction.
+        """
+        if addr in self._lru:
+            self._lru.move_to_end(addr)
+            self._lru[addr] = self._lru[addr] or dirty
+            self.hits += 1
+            return True, None
+        self.misses += 1
+        evicted = None
+        if len(self._lru) >= self.entries:
+            v_addr, was_dirty = self._lru.popitem(last=False)
+            if was_dirty:
+                self.writebacks += 1
+                evicted = v_addr
+        self._lru[addr] = dirty
+        return False, evicted
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

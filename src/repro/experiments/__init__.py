@@ -1,0 +1,5 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+See DESIGN.md Section 4 for the experiment index and
+``repro.cli experiment <id>`` for the command-line entry points.
+"""

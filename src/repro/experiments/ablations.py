@@ -1,0 +1,168 @@
+"""Ablation studies beyond the paper's figures (DESIGN.md Section 6).
+
+* :func:`nflb_size` -- NFLB entries per domain (1/2/4/8): extends
+  Fig. 18 by showing where the paper's choice of 2 sits.
+* :func:`tracker_size` -- hotpage-tracker entries: extends IvLeague-Pro
+  (the paper fixes 128 and defers to "more advanced detectors").
+* :func:`hot_region_size` -- reserved hot slots per TreeLing: the
+  capacity/coverage trade-off of the Pro hot region.
+* :func:`frame_environment` -- fresh-boot vs steady-state vs fully
+  random frame placement: quantifies how much of the static baseline's
+  performance depends on OS-provided contiguity, and shows IvLeague's
+  placement-independence.
+"""
+
+from __future__ import annotations
+
+from repro import ENGINES
+from repro.experiments.common import format_table, get_scale, print_header
+from repro.sim.config import scaled_config
+from repro.sim.simulator import Simulator
+from repro.sim.stats import geomean
+from repro.workloads.mixes import build_mix
+
+DEFAULT_MIXES = ["S-2", "M-1"]
+
+
+def _run(cfg, scheme, mix, sc, frame_policy=None):
+    workload = build_mix(mix, n_accesses=sc.n_accesses, seed=sc.seed)
+    engine = ENGINES[scheme](cfg, seed=11)
+    sim = Simulator(cfg, engine, seed=sc.seed,
+                    frame_policy=frame_policy or sc.frame_policy)
+    result = sim.run(workload, warmup=sc.warmup)
+    return engine, result
+
+
+def nflb_size(scale="quick", mixes=None,
+              sizes=(1, 2, 4, 8)) -> list[dict]:
+    sc = get_scale(scale)
+    rows = []
+    for entries in sizes:
+        cfg = scaled_config(n_cores=sc.n_cores).with_ivleague(
+            nflb_entries=entries)
+        row = {"nflb_entries": entries}
+        rates, ipcs = [], []
+        for mix in mixes or DEFAULT_MIXES:
+            engine, result = _run(cfg, "ivleague-basic", mix, sc)
+            rates.append(result.engine.nflb_hit_rate)
+            ipcs.append(sum(result.ipcs))
+        row["nflb_hit_rate"] = geomean(rates)
+        row["ipc_sum"] = geomean(ipcs)
+        rows.append(row)
+    base = rows[0]["ipc_sum"]
+    for r in rows:
+        r["ipc_vs_1_entry"] = r.pop("ipc_sum") / base
+    return rows
+
+
+def tracker_size(scale="quick", mixes=None,
+                 sizes=(64, 128, 256, 512)) -> list[dict]:
+    sc = get_scale(scale)
+    rows = []
+    for entries in sizes:
+        cfg = scaled_config(n_cores=sc.n_cores).with_ivleague(
+            hot_tracker_entries=entries)
+        row = {"tracker_entries": entries}
+        migs, paths = [], []
+        for mix in mixes or DEFAULT_MIXES:
+            engine, result = _run(cfg, "ivleague-pro", mix, sc)
+            migs.append(result.engine.hot_migrations)
+            paths.append(result.engine.avg_path_length)
+        row["hot_migrations"] = sum(migs)
+        row["avg_path"] = sum(paths) / len(paths)
+        rows.append(row)
+    return rows
+
+
+def hot_region_size(scale="quick", mixes=None,
+                    sizes=(8, 16, 32, 64)) -> list[dict]:
+    sc = get_scale(scale)
+    rows = []
+    for slots in sizes:
+        cfg = scaled_config(n_cores=sc.n_cores).with_ivleague(
+            hot_region_slots=slots)
+        row = {"hot_slots_per_treeling": slots}
+        paths, ipcs = [], []
+        for mix in mixes or DEFAULT_MIXES:
+            engine, result = _run(cfg, "ivleague-pro", mix, sc)
+            paths.append(result.engine.avg_path_length)
+            ipcs.append(sum(result.ipcs))
+        row["avg_path"] = sum(paths) / len(paths)
+        row["ipc_sum"] = geomean(ipcs)
+        rows.append(row)
+    base = rows[0]["ipc_sum"]
+    for r in rows:
+        r["ipc_vs_smallest"] = r.pop("ipc_sum") / base
+    return rows
+
+
+def frame_environment(scale="quick", mixes=None) -> list[dict]:
+    sc = get_scale(scale)
+    rows = []
+    for policy in ("sequential", "fragmented", "random"):
+        cfg = scaled_config(n_cores=sc.n_cores)
+        row = {"frame_policy": policy}
+        for scheme in ("baseline", "ivleague-pro"):
+            paths, ipcs = [], []
+            for mix in mixes or DEFAULT_MIXES:
+                engine, result = _run(cfg, scheme, mix, sc,
+                                      frame_policy=policy)
+                paths.append(result.engine.avg_path_length)
+                ipcs.append(sum(result.ipcs))
+            row[f"{scheme}_path"] = sum(paths) / len(paths)
+            row[f"{scheme}_ipc"] = geomean(ipcs)
+        rows.append(row)
+    # normalise IPCs to the sequential environment
+    for scheme in ("baseline", "ivleague-pro"):
+        ref = rows[0][f"{scheme}_ipc"]
+        for r in rows:
+            r[f"{scheme}_ipc"] = r[f"{scheme}_ipc"] / ref
+    return rows
+
+
+def static_partition_comparison(scale="quick", mixes=None,
+                                n_partitions: int = 16) -> list[dict]:
+    """Run the *timing* static-partitioning comparator.
+
+    With many partitions each chunk is small: domains whose footprint
+    exceeds it fail outright (the live form of Fig. 22); domains that
+    fit run with baseline-like performance but frozen flexibility.
+    """
+    from repro.osmodel.allocator import OutOfMemoryError
+    from repro.secure.static_partition import StaticPartitionEngine
+    sc = get_scale(scale)
+    rows = []
+    for mix in mixes or DEFAULT_MIXES + ["L-1"]:
+        cfg = scaled_config(n_cores=sc.n_cores)
+        workload = build_mix(mix, n_accesses=sc.n_accesses, seed=sc.seed)
+        _, base = _run(cfg, "baseline", mix, sc)
+        engine = StaticPartitionEngine(cfg, n_partitions=n_partitions,
+                                       seed=11)
+        sim = Simulator(cfg, engine, seed=sc.seed,
+                        frame_policy=sc.frame_policy)
+        row = {"mix": mix,
+               "partition_pages": engine.pages_per_partition}
+        try:
+            result = sim.run(workload, warmup=sc.warmup)
+            row["static_vs_baseline"] = result.weighted_ipc(base)
+        except OutOfMemoryError:
+            row["static_vs_baseline"] = "x (partition overflow)"
+        rows.append(row)
+    return rows
+
+
+def main(scale="quick", mixes=None):
+    print_header("Ablation: NFLB size (extends Fig. 18)")
+    print(format_table(nflb_size(scale, mixes)))
+    print_header("Ablation: hotpage tracker size (extends Sec. VII-B)")
+    print(format_table(tracker_size(scale, mixes)))
+    print_header("Ablation: hot-region size per TreeLing")
+    print(format_table(hot_region_size(scale, mixes)))
+    print_header("Ablation: frame-placement environment")
+    print(format_table(frame_environment(scale, mixes)))
+    print_header("Ablation: live static-partitioning comparator")
+    print(format_table(static_partition_comparison(scale, mixes)))
+
+
+if __name__ == "__main__":
+    main("full")

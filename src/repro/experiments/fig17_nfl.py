@@ -1,0 +1,76 @@
+"""Fig. 17: effectiveness of the NFL design.
+
+(a) Weighted IPC of IvLeague with the NFL versus the naive bit-vector
+    allocators BV-v1/BV-v2, normalized to Baseline.  Paper: BV-v2 loses
+    33-47%, BV-v1 *fails to run* (TreeLing starvation) on every Medium
+    and Large workload; NFL gains 6-18%.
+(b) TreeLing slot utilization with the NFL (>99.99%) and the absolute
+    number of untracked slots (17-52 in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.core.bv_engine import IvLeagueBVv1Engine, IvLeagueBVv2Engine
+from repro.core.domain import TreeLingStarvation
+from repro.core.ivleague import IvLeagueBasicEngine
+from repro.experiments.common import format_table, get_scale, print_header
+from repro.experiments.runner import run_mix
+from repro.sim.config import scaled_config
+from repro.sim.simulator import Simulator
+from repro.workloads.mixes import build_mix
+
+DEFAULT_MIXES = ["S-2", "M-1", "L-2"]
+
+ALLOCATORS = {
+    "NFL": IvLeagueBasicEngine,
+    "BV-v1": IvLeagueBVv1Engine,
+    "BV-v2": IvLeagueBVv2Engine,
+}
+
+
+def _run(engine_cls, mix: str, sc, frame_policy):
+    cfg = scaled_config(n_cores=sc.n_cores)
+    workload = build_mix(mix, n_accesses=sc.n_accesses, seed=sc.seed)
+    engine = engine_cls(cfg, seed=11)
+    sim = Simulator(cfg, engine, seed=sc.seed,
+                    frame_policy=frame_policy or sc.frame_policy)
+    result = sim.run(workload, warmup=sc.warmup)
+    return engine, result
+
+
+def compute(scale="quick", mixes=None, frame_policy=None
+            ) -> tuple[list[dict], list[dict]]:
+    sc = get_scale(scale)
+    perf_rows, util_rows = [], []
+    for mix in mixes or DEFAULT_MIXES:
+        base = run_mix(mix, "baseline", sc, frame_policy=frame_policy)
+        row = {"mix": mix}
+        for label, cls in ALLOCATORS.items():
+            try:
+                engine, result = _run(cls, mix, sc, frame_policy)
+            except TreeLingStarvation:
+                row[label] = "x (starved)"
+                continue
+            row[label] = result.weighted_ipc(base)
+            if label == "NFL":
+                util_rows.append({
+                    "mix": mix,
+                    "utilization": engine.treeling_utilization(),
+                    "untracked_slots": engine.untracked_slots(),
+                })
+        perf_rows.append(row)
+    return perf_rows, util_rows
+
+
+def main(scale="quick", mixes=None, frame_policy=None):
+    perf, util = compute(scale, mixes, frame_policy)
+    print_header(f"Fig. 17a -- NFL vs bit-vector allocators, weighted IPC "
+                 f"vs Baseline (scale={get_scale(scale).name})")
+    print(format_table(perf))
+    print_header("Fig. 17b -- TreeLing utilization and untracked slots")
+    print(format_table(util, floatfmt=".6f"))
+    return perf, util
+
+
+if __name__ == "__main__":
+    main("full")

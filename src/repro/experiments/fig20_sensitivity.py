@@ -1,0 +1,93 @@
+"""Fig. 20: sensitivity to TreeLing size and IV metadata cache size.
+
+(a) TreeLing size sweep (paper: 8/64/512MB; scaled here to heights
+    3/4/5 = 2/16/128MB).  Paper: the middle size wins -- small TreeLings
+    lock too many on-chip blocks (cache thrashing), large ones lock too
+    few levels (more in-memory tree misses).
+(b) Metadata cache size sweep (paper: 64KB-1MB around the 256KB
+    default; scaled: 8KB-128KB around 32KB).  Paper: diminishing returns
+    past the default.
+
+Both normalized to IvLeague-Basic at the default configuration.
+"""
+
+from __future__ import annotations
+
+from repro import ENGINES
+from repro.experiments.common import format_table, get_scale, print_header
+from repro.sim.config import CacheConfig, scaled_config
+from repro.sim.simulator import Simulator
+from repro.sim.stats import geomean
+from repro.workloads.mixes import build_mix
+
+IV_SCHEMES = ["ivleague-basic", "ivleague-invert", "ivleague-pro"]
+DEFAULT_MIXES = ["S-2", "M-1", "L-2"]
+
+#: TreeLing height -> (coverage label, pool size keeping total coverage).
+TREELING_SWEEP = {3: "2MB", 4: "16MB", 5: "128MB"}
+CACHE_SWEEP_KB = [8, 16, 32, 64, 128]
+
+
+def _ipc_sum(cfg, scheme, mix, sc, frame_policy=None):
+    workload = build_mix(mix, n_accesses=sc.n_accesses, seed=sc.seed)
+    engine = ENGINES[scheme](cfg, seed=11)
+    sim = Simulator(cfg, engine, seed=sc.seed,
+                    frame_policy=frame_policy or sc.frame_policy)
+    result = sim.run(workload, warmup=sc.warmup)
+    return sum(result.ipcs)
+
+
+def compute_treeling_size(scale="quick", mixes=None) -> list[dict]:
+    sc = get_scale(scale)
+    mixes = mixes or DEFAULT_MIXES
+    base_cfg = scaled_config(n_cores=sc.n_cores)
+    reference = {m: _ipc_sum(base_cfg, "ivleague-basic", m, sc)
+                 for m in mixes}
+    rows = []
+    for height, label in TREELING_SWEEP.items():
+        # Keep total TreeLing coverage constant across the sweep.
+        n_tl = max(64, base_cfg.ivleague.n_treelings
+                   * 8 ** (base_cfg.ivleague.treeling_height - height))
+        cfg = base_cfg.with_ivleague(treeling_height=height,
+                                     n_treelings=n_tl)
+        row = {"treeling": label, "height": height, "pool": n_tl}
+        for scheme in IV_SCHEMES:
+            vals = [_ipc_sum(cfg, scheme, m, sc) / reference[m]
+                    for m in mixes]
+            row[scheme] = geomean(vals)
+        rows.append(row)
+    return rows
+
+
+def compute_cache_size(scale="quick", mixes=None) -> list[dict]:
+    sc = get_scale(scale)
+    mixes = mixes or DEFAULT_MIXES
+    base_cfg = scaled_config(n_cores=sc.n_cores)
+    reference = {m: _ipc_sum(base_cfg, "ivleague-basic", m, sc)
+                 for m in mixes}
+    rows = []
+    for kb in CACHE_SWEEP_KB:
+        cache = CacheConfig(kb * 1024, 8, hit_latency=8, randomized=True)
+        cfg = base_cfg.with_secure(tree_cache=cache, counter_cache=cache)
+        row = {"metadata_cache": f"{kb}KB"}
+        for scheme in IV_SCHEMES:
+            vals = [_ipc_sum(cfg, scheme, m, sc) / reference[m]
+                    for m in mixes]
+            row[scheme] = geomean(vals)
+        rows.append(row)
+    return rows
+
+
+def main(scale="quick", mixes=None):
+    a = compute_treeling_size(scale, mixes)
+    print_header(f"Fig. 20a -- TreeLing size sensitivity "
+                 f"(scale={get_scale(scale).name}, IPC vs default Basic)")
+    print(format_table(a))
+    b = compute_cache_size(scale, mixes)
+    print_header("Fig. 20b -- IV metadata cache size sensitivity")
+    print(format_table(b))
+    return a, b
+
+
+if __name__ == "__main__":
+    main("full")

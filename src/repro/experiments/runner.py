@@ -1,0 +1,56 @@
+"""Cached mix runner shared by the Fig. 15/16/18/19 experiments.
+
+Running a workload mix under a scheme is the expensive operation; four
+different figures read different statistics off the same run, so results
+are memoised per (scale, mix, scheme) within the process.
+"""
+
+from __future__ import annotations
+
+from repro import ENGINES
+from repro.experiments.common import Scale, get_scale
+from repro.sim.config import scaled_config
+from repro.sim.simulator import Simulator
+from repro.sim.stats import RunResult
+from repro.workloads.mixes import ALL, build_mix
+
+_CACHE: dict[tuple, RunResult] = {}
+
+SCHEMES = list(ENGINES)   # baseline, ivleague-basic, -invert, -pro
+
+
+def run_mix(mix: str, scheme: str, scale: str | Scale = "quick",
+            config=None, frame_policy: str | None = None) -> RunResult:
+    """Run (or fetch) one mix under one scheme."""
+    sc = get_scale(scale)
+    policy = frame_policy or sc.frame_policy
+    key = (sc.name, mix, scheme, policy,
+           id(config) if config is not None else None)
+    hit = _CACHE.get(key)
+    if hit is not None:
+        return hit
+    cfg = config or scaled_config(n_cores=sc.n_cores)
+    workload = build_mix(mix, n_accesses=sc.n_accesses, seed=sc.seed)
+    engine = ENGINES[scheme](cfg, seed=11)
+    sim = Simulator(cfg, engine, seed=sc.seed, frame_policy=policy)
+    result = sim.run(workload, warmup=sc.warmup)
+    _CACHE[key] = result
+    return result
+
+
+def run_all(scale: str | Scale = "quick", mixes: list[str] | None = None,
+            schemes: list[str] | None = None,
+            frame_policy: str | None = None
+            ) -> dict[str, dict[str, RunResult]]:
+    """All requested mixes under all requested schemes."""
+    out: dict[str, dict[str, RunResult]] = {}
+    for mix in mixes or ALL:
+        out[mix] = {
+            s: run_mix(mix, s, scale, frame_policy=frame_policy)
+            for s in (schemes or SCHEMES)
+        }
+    return out
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

@@ -1,0 +1,138 @@
+"""Set-associative cache model with LRU replacement, dirty bits and
+way-locking.
+
+All caches in the simulator operate on *block addresses* (byte address
+divided by the 64B block size).  Metadata caches additionally tag their
+addresses with an address-space id (see :mod:`repro.mem.spaces`) so one
+cache can hold blocks from several physical regions without aliasing.
+
+The model is functional for *presence*: a block is either cached or not,
+and eviction returns the victim so the caller can account for write-backs.
+Timing is the caller's job (latencies come from the config).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.sim.config import CacheConfig
+from repro.sim.stats import Counter
+
+
+@dataclass
+class Eviction:
+    """A victim block pushed out by a fill."""
+
+    addr: int
+    dirty: bool
+
+
+class Cache:
+    """LRU set-associative cache keyed by integer block address."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        if config.assoc <= 0:
+            raise ValueError("associativity must be positive")
+        self.config = config
+        self.name = name
+        self.n_sets = config.n_sets
+        self.assoc = config.assoc
+        # Each set: OrderedDict addr -> (dirty, locked); LRU = first item.
+        self._sets: list[OrderedDict[int, list]] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+        self.stats = Counter()
+        self.evictions = 0
+        self.writebacks = 0
+
+    # -- mapping ------------------------------------------------------------
+
+    def set_index(self, addr: int) -> int:
+        return addr % self.n_sets
+
+    # -- queries ------------------------------------------------------------
+
+    def contains(self, addr: int) -> bool:
+        return addr in self._sets[self.set_index(addr)]
+
+    def lookup(self, addr: int, is_write: bool = False) -> bool:
+        """Probe the cache; updates LRU and stats.  Returns hit/miss."""
+        s = self._sets[self.set_index(addr)]
+        entry = s.get(addr)
+        if entry is None:
+            self.stats.misses += 1
+            return False
+        s.move_to_end(addr)
+        if is_write:
+            entry[0] = True
+        self.stats.hits += 1
+        return True
+
+    # -- fills / evictions ---------------------------------------------------
+
+    def fill(self, addr: int, dirty: bool = False,
+             locked: bool = False) -> Optional[Eviction]:
+        """Insert ``addr``; return the evicted victim, if any.
+
+        Locked entries are never selected as victims.  If the whole set is
+        locked, the fill is dropped (callers lock at most a bounded number
+        of blocks, so this only happens in adversarial unit tests).
+        """
+        s = self._sets[self.set_index(addr)]
+        entry = s.get(addr)
+        if entry is not None:
+            entry[0] = entry[0] or dirty
+            entry[1] = entry[1] or locked
+            s.move_to_end(addr)
+            return None
+        victim = None
+        if len(s) >= self.assoc:
+            victim = self._pick_victim(s)
+            if victim is None:
+                return None  # fully locked set: drop the fill
+            vdirty = s.pop(victim)[0]
+            self.evictions += 1
+            if vdirty:
+                self.writebacks += 1
+            victim = Eviction(victim, vdirty)
+        s[addr] = [dirty, locked]
+        return victim
+
+    def _pick_victim(self, s: OrderedDict[int, list]) -> Optional[int]:
+        for addr, (_, locked) in s.items():  # iteration order = LRU first
+            if not locked:
+                return addr
+        return None
+
+    def invalidate(self, addr: int) -> bool:
+        s = self._sets[self.set_index(addr)]
+        return s.pop(addr, None) is not None
+
+    def lock(self, addr: int) -> None:
+        """Pin ``addr`` so it can never be evicted (TreeLing root locking)."""
+        s = self._sets[self.set_index(addr)]
+        if addr in s:
+            s[addr][1] = True
+        else:
+            self.fill(addr, locked=True)
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def blocks(self) -> Iterator[int]:
+        for s in self._sets:
+            yield from s.keys()
+
+    def flush(self) -> int:
+        """Drop every non-locked block; returns the dirty write-back count."""
+        dirty = 0
+        for s in self._sets:
+            keep = {a: e for a, e in s.items() if e[1]}
+            dirty += sum(1 for a, e in s.items() if e[0] and not e[1])
+            s.clear()
+            s.update(keep)
+        return dirty

@@ -1,0 +1,109 @@
+"""Open-row DRAM timing model.
+
+Banks keep an open row and a ``busy_until`` time.  A request pays the
+controller pipeline latency plus either a row-buffer hit (CAS) or a
+row-buffer miss (PRE + ACT + CAS), plus any queueing delay behind earlier
+requests to the same bank.  FR-FCFS is approximated by letting a row-hit
+request overlap the tail burst of the previous request to the same row.
+
+Writes are posted: they occupy the bank (extending ``busy_until``) but do
+not stall the requester, which matches the write-queue draining behaviour
+of an FR-FCFS controller at first order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.spaces import block_of, space_of
+from repro.sim.config import DRAMConfig
+
+
+@dataclass
+class DRAMStats:
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    total_read_latency: int = 0
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    @property
+    def avg_read_latency(self) -> float:
+        return self.total_read_latency / self.reads if self.reads else 0.0
+
+
+class DRAM:
+    """Channel/rank/bank DRAM with open-row policy."""
+
+    def __init__(self, config: DRAMConfig) -> None:
+        self.config = config
+        n = config.n_banks
+        self._open_row = [-1] * n
+        self._busy_until = [0.0] * n
+        self.stats = DRAMStats()
+        self._blocks_per_row = config.row_bytes // 64
+
+    # -- address mapping -----------------------------------------------------
+
+    def bank_and_row(self, addr: int) -> tuple[int, int]:
+        """Map a tagged block address to (bank, row).
+
+        Blocks interleave across channels at block granularity (the common
+        fine-grained interleaving), then across banks at row granularity.
+        The address-space tag participates in the hash so metadata regions
+        spread over all banks rather than piling onto bank 0.
+        """
+        blk = block_of(addr)
+        spc = space_of(addr)
+        cfg = self.config
+        channel = (blk ^ spc) % cfg.channels
+        row_global = blk // self._blocks_per_row
+        banks_per_channel = cfg.ranks_per_channel * cfg.banks_per_rank
+        bank_in_channel = (row_global ^ (spc * 7)) % banks_per_channel
+        bank = channel * banks_per_channel + bank_in_channel
+        row = row_global // banks_per_channel
+        return bank, row
+
+    # -- accesses ------------------------------------------------------------
+
+    def read(self, addr: int, now: float) -> float:
+        """Issue a read at ``now``; returns its latency in cycles."""
+        cfg = self.config
+        bank, row = self.bank_and_row(addr)
+        start = max(now, self._busy_until[bank])
+        if self._open_row[bank] == row:
+            latency = cfg.row_hit_latency
+            self.stats.row_hits += 1
+        else:
+            latency = cfg.row_miss_latency
+            self.stats.row_misses += 1
+            self._open_row[bank] = row
+        finish = start + latency
+        # The bank stays occupied for the burst only; the next row hit can
+        # pipeline behind the column access.
+        self._busy_until[bank] = start + cfg.t_burst + (
+            0 if latency == cfg.row_hit_latency else cfg.t_rp + cfg.t_rcd)
+        total = finish - now
+        self.stats.reads += 1
+        self.stats.total_read_latency += int(total)
+        return total
+
+    def write(self, addr: int, now: float) -> None:
+        """Posted write: occupies the bank but does not stall the caller."""
+        cfg = self.config
+        bank, row = self.bank_and_row(addr)
+        start = max(now, self._busy_until[bank])
+        if self._open_row[bank] == row:
+            occupancy = cfg.t_burst
+            self.stats.row_hits += 1
+        else:
+            occupancy = cfg.t_rp + cfg.t_rcd + cfg.t_burst
+            self.stats.row_misses += 1
+            self._open_row[bank] = row
+        self._busy_until[bank] = start + occupancy
+        self.stats.writes += 1

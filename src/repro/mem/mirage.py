@@ -1,0 +1,121 @@
+"""MIRAGE-style randomized cache.
+
+The paper's baseline integrates MIRAGE (Saileshwar & Qureshi, USENIX
+Security'21) in the shared LLC and the metadata caches to rule out
+conflict-based (Prime+Probe) attacks, leaving only the *metadata sharing*
+channel that IvLeague targets.  We model the two properties that matter
+for our experiments:
+
+* the address-to-set mapping is keyed and skewed (two hash candidates,
+  power-of-two-choices placement), so an attacker cannot build eviction
+  sets from addresses; and
+* replacement is *global random* among the candidate frames, so eviction
+  timing carries no deterministic set information.
+
+Functionally it remains a presence/eviction cache compatible with
+:class:`repro.mem.cache.Cache` so engines can use either interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.mem.cache import Cache, Eviction
+from repro.sim.config import CacheConfig
+
+
+def _mix(value: int, key: int) -> int:
+    """Cheap keyed integer hash (splitmix64 finaliser)."""
+    z = (value + key) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return z ^ (z >> 31)
+
+
+class MirageCache(Cache):
+    """Skewed, keyed-index cache with random replacement."""
+
+    def __init__(self, config: CacheConfig, name: str = "mirage",
+                 seed: int = 0xC0FFEE) -> None:
+        super().__init__(config, name)
+        self._rng = np.random.default_rng(seed)
+        self._key0 = int(self._rng.integers(1, 2**63))
+        self._key1 = int(self._rng.integers(1, 2**63))
+
+    # Two candidate skews; an address lives in exactly one set, chosen at
+    # fill time by load (power of two choices), remembered via lookup in
+    # both candidates.
+    def _candidates(self, addr: int) -> tuple[int, int]:
+        return (_mix(addr, self._key0) % self.n_sets,
+                _mix(addr, self._key1) % self.n_sets)
+
+    def set_index(self, addr: int) -> int:  # pragma: no cover - unused path
+        return self._candidates(addr)[0]
+
+    def contains(self, addr: int) -> bool:
+        c0, c1 = self._candidates(addr)
+        return addr in self._sets[c0] or addr in self._sets[c1]
+
+    def lookup(self, addr: int, is_write: bool = False) -> bool:
+        for idx in self._candidates(addr):
+            s = self._sets[idx]
+            entry = s.get(addr)
+            if entry is not None:
+                if is_write:
+                    entry[0] = True
+                s.move_to_end(addr)
+                self.stats.hits += 1
+                return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, addr: int, dirty: bool = False,
+             locked: bool = False) -> Optional[Eviction]:
+        c0, c1 = self._candidates(addr)
+        for idx in (c0, c1):
+            entry = self._sets[idx].get(addr)
+            if entry is not None:
+                entry[0] = entry[0] or dirty
+                entry[1] = entry[1] or locked
+                return None
+        # Power-of-two-choices placement into the emptier skew.
+        idx = c0 if len(self._sets[c0]) <= len(self._sets[c1]) else c1
+        s = self._sets[idx]
+        victim = None
+        if len(s) >= self.assoc:
+            # Reuse-aware (LRU) victim inside the randomized set: MIRAGE's
+            # global eviction is security-motivated; performance-wise it
+            # tracks an LRU-class policy, which is what matters here.
+            vaddr = next((a for a, e in s.items() if not e[1]), None)
+            if vaddr is None:
+                return None
+            vdirty = s.pop(vaddr)[0]
+            self.evictions += 1
+            if vdirty:
+                self.writebacks += 1
+            victim = Eviction(vaddr, vdirty)
+        s[addr] = [dirty, locked]
+        return victim
+
+    def invalidate(self, addr: int) -> bool:
+        for idx in self._candidates(addr):
+            if self._sets[idx].pop(addr, None) is not None:
+                return True
+        return False
+
+    def lock(self, addr: int) -> None:
+        for idx in self._candidates(addr):
+            entry = self._sets[idx].get(addr)
+            if entry is not None:
+                entry[1] = True
+                return
+        self.fill(addr, locked=True)
+
+
+def make_cache(config: CacheConfig, name: str, seed: int = 0) -> Cache:
+    """Factory honouring ``config.randomized``."""
+    if config.randomized:
+        return MirageCache(config, name, seed=seed or 0xC0FFEE)
+    return Cache(config, name)

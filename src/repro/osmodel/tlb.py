@@ -1,0 +1,76 @@
+"""Set-associative TLB.
+
+Entries are keyed by (asid, vpn) and carry the PFN.  The TLB exposes an
+eviction callback so the IvLeague LMM cache can stay consistent: the
+paper evicts the LMM-cache entry whenever the corresponding TLB entry is
+evicted (Section VI-C2).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Optional
+
+from repro.sim.stats import Counter
+
+EvictHook = Callable[[int, int, int], None]  # (asid, vpn, pfn)
+
+
+class TLB:
+    """LRU set-associative translation lookaside buffer."""
+
+    def __init__(self, entries: int, assoc: int = 4,
+                 on_evict: Optional[EvictHook] = None) -> None:
+        if entries % assoc:
+            raise ValueError("entries must be a multiple of assoc")
+        self.assoc = assoc
+        self.n_sets = entries // assoc
+        self._sets: list[OrderedDict[tuple[int, int], int]] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+        self.stats = Counter()
+        self.on_evict = on_evict
+
+    def _set_of(self, asid: int, vpn: int) -> OrderedDict:
+        return self._sets[(vpn ^ (asid * 0x9E37)) % self.n_sets]
+
+    def lookup(self, asid: int, vpn: int) -> Optional[int]:
+        s = self._set_of(asid, vpn)
+        pfn = s.get((asid, vpn))
+        if pfn is None:
+            self.stats.misses += 1
+            return None
+        s.move_to_end((asid, vpn))
+        self.stats.hits += 1
+        return pfn
+
+    def insert(self, asid: int, vpn: int, pfn: int) -> None:
+        s = self._set_of(asid, vpn)
+        if (asid, vpn) in s:
+            s.move_to_end((asid, vpn))
+            s[(asid, vpn)] = pfn
+            return
+        if len(s) >= self.assoc:
+            (v_asid, v_vpn), v_pfn = s.popitem(last=False)
+            if self.on_evict is not None:
+                self.on_evict(v_asid, v_vpn, v_pfn)
+        s[(asid, vpn)] = pfn
+
+    def invalidate(self, asid: int, vpn: int) -> bool:
+        s = self._set_of(asid, vpn)
+        pfn = s.pop((asid, vpn), None)
+        if pfn is not None and self.on_evict is not None:
+            self.on_evict(asid, vpn, pfn)
+        return pfn is not None
+
+    def flush_asid(self, asid: int) -> int:
+        """Invalidate every entry of one address space; returns the count."""
+        n = 0
+        for s in self._sets:
+            victims = [k for k in s if k[0] == asid]
+            for k in victims:
+                pfn = s.pop(k)
+                if self.on_evict is not None:
+                    self.on_evict(k[0], k[1], pfn)
+                n += 1
+        return n

@@ -1,0 +1,230 @@
+"""Bonsai Merkle Tree: geometry (address mapping) + functional hash tree.
+
+Two decoupled pieces:
+
+* :class:`TreeGeometry` -- the static address mapping of the global 8-ary
+  BMT: how many levels, which tree-node block verifies a given counter
+  block, parent links, and tagged physical addresses for every node.  The
+  timing engines use only this (presence in caches is what costs cycles).
+
+* :class:`BonsaiMerkleTree` -- a fully functional hash tree over a
+  :class:`repro.secure.counters.CounterStore` with real digests, used by
+  unit/property tests and the attack demo to prove tamper/replay
+  detection end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem import spaces
+from repro.secure.counters import CounterStore
+from repro.secure.crypto import keyed_hash
+from repro.sim.config import TREE_ARITY
+
+
+@dataclass(frozen=True)
+class NodeId:
+    """A tree node: level 1 = leaf hash nodes, ``height`` = the root."""
+
+    level: int
+    index: int
+
+
+class TreeGeometry:
+    """Static 8-ary tree shape over ``n_counter_blocks`` counter blocks."""
+
+    def __init__(self, n_counter_blocks: int,
+                 arity: int = TREE_ARITY) -> None:
+        if n_counter_blocks <= 0:
+            raise ValueError("need at least one counter block")
+        self.arity = arity
+        self.n_counter_blocks = n_counter_blocks
+        sizes = []
+        n = n_counter_blocks
+        while True:
+            n = (n + arity - 1) // arity
+            sizes.append(n)
+            if n == 1:
+                break
+        #: nodes per level, index 0 = level 1 (leaves).
+        self.level_sizes: tuple[int, ...] = tuple(sizes)
+        self.height = len(sizes)
+        bases = []
+        base = 0
+        for s in sizes:
+            bases.append(base)
+            base += s
+        self._level_base = bases
+        self.total_nodes = base
+
+    # -- structure ------------------------------------------------------------
+
+    def leaf_for_counter(self, counter_block: int) -> NodeId:
+        if not 0 <= counter_block < self.n_counter_blocks:
+            raise IndexError(f"counter block {counter_block} out of range")
+        return NodeId(1, counter_block // self.arity)
+
+    def parent(self, node: NodeId) -> NodeId:
+        if node.level >= self.height:
+            raise ValueError("the root has no parent")
+        return NodeId(node.level + 1, node.index // self.arity)
+
+    def children(self, node: NodeId) -> list[NodeId]:
+        if node.level <= 1:
+            raise ValueError("leaf nodes have counter blocks as children")
+        lo = node.index * self.arity
+        hi = min(lo + self.arity, self.level_sizes[node.level - 2])
+        return [NodeId(node.level - 1, i) for i in range(lo, hi)]
+
+    def counter_children(self, leaf: NodeId) -> list[int]:
+        if leaf.level != 1:
+            raise ValueError("only level-1 nodes cover counter blocks")
+        lo = leaf.index * self.arity
+        hi = min(lo + self.arity, self.n_counter_blocks)
+        return list(range(lo, hi))
+
+    def path_to_root(self, counter_block: int) -> list[NodeId]:
+        """Verification path, leaf first, root last."""
+        node = self.leaf_for_counter(counter_block)
+        path = [node]
+        while node.level < self.height:
+            node = self.parent(node)
+            path.append(node)
+        return path
+
+    # -- physical addressing ----------------------------------------------------
+
+    def node_addr(self, node: NodeId) -> int:
+        """Tagged block address of a node (one node = one 64B block)."""
+        if not 1 <= node.level <= self.height:
+            raise IndexError(f"level {node.level} out of range")
+        if not 0 <= node.index < self.level_sizes[node.level - 1]:
+            raise IndexError(f"node {node} out of range")
+        return spaces.tag(spaces.TREE,
+                          self._level_base[node.level - 1] + node.index)
+
+    def counter_addr(self, counter_block: int) -> int:
+        return spaces.tag(spaces.COUNTER, counter_block)
+
+
+class TamperDetected(Exception):
+    """Integrity verification failed: memory contents were altered."""
+
+
+class BonsaiMerkleTree:
+    """Functional BMT with real digests over a counter store.
+
+    The stored state (`_node_hash`) models what sits in untrusted memory;
+    only the root is implicitly trusted (kept "on chip").  ``tamper_*``
+    methods act as the physical adversary.
+    """
+
+    HASH_BYTES = 8  # 8 hashes x 8B per 64B node
+
+    def __init__(self, geometry: TreeGeometry, counters: CounterStore,
+                 key: bytes = b"ivleague-bmt-key") -> None:
+        self.geo = geometry
+        self.counters = counters
+        self._key = key
+        self._node_hash: dict[tuple[int, int], bytes] = {}
+        # Counter blocks are lazily zero; hashes of all-zero subtrees are
+        # deterministic, so compute them once per level.
+        self._zero_hash = self._build_zero_hashes()
+        self._root = self._stored_hash(NodeId(self.geo.height, 0))
+
+    # -- hashing helpers --------------------------------------------------------
+
+    def _hash_counter_block(self, counter_block: int) -> bytes:
+        payload = self.counters.serialize(counter_block)
+        return keyed_hash(self._key, b"ctr",
+                          counter_block.to_bytes(8, "little"), payload,
+                          digest_size=self.HASH_BYTES)
+
+    def _hash_children(self, node: NodeId,
+                       child_hashes: list[bytes]) -> bytes:
+        return keyed_hash(self._key, b"node",
+                          node.level.to_bytes(2, "little"),
+                          node.index.to_bytes(8, "little"),
+                          b"".join(child_hashes),
+                          digest_size=self.HASH_BYTES)
+
+    def _build_zero_hashes(self) -> list[bytes]:
+        """zero_hash[l] = stored hash of an untouched node at level l."""
+        zero_ctr = keyed_hash(self._key, b"zero-ctr",
+                              digest_size=self.HASH_BYTES)
+        out = [zero_ctr]
+        for level in range(1, self.geo.height + 1):
+            child = out[-1]
+            out.append(keyed_hash(self._key, b"zero-node",
+                                  level.to_bytes(2, "little"),
+                                  child * self.geo.arity,
+                                  digest_size=self.HASH_BYTES))
+        return out
+
+    def _counter_hash(self, counter_block: int) -> bytes:
+        # Untouched pages hash to the canonical zero hash.
+        if counter_block in self.counters._blocks:
+            return self._hash_counter_block(counter_block)
+        return self._zero_hash[0]
+
+    def _stored_hash(self, node: NodeId) -> bytes:
+        return self._node_hash.get((node.level, node.index),
+                                   self._zero_hash[node.level])
+
+    def _computed_hash(self, node: NodeId) -> bytes:
+        """Hash of the node's *stored children* (one level down only).
+
+        Untouched subtrees hash to the canonical per-level zero hash, so
+        a lazily-materialised tree verifies without instantiating every
+        node.
+        """
+        if node.level == 1:
+            child_hashes = [self._counter_hash(c)
+                            for c in self.geo.counter_children(node)]
+        else:
+            child_hashes = [self._stored_hash(c)
+                            for c in self.geo.children(node)]
+        if all(ch == self._zero_hash[node.level - 1]
+               for ch in child_hashes):
+            return self._zero_hash[node.level]
+        return self._hash_children(node, child_hashes)
+
+    # -- public API ---------------------------------------------------------------
+
+    @property
+    def root(self) -> bytes:
+        return self._root
+
+    def update_counter(self, page: int, block_in_page: int) -> None:
+        """Write path: bump the counter and refresh the path to the root."""
+        self.counters.increment(page, block_in_page)
+        self.refresh_path(page)
+
+    def refresh_path(self, counter_block: int) -> None:
+        """Recompute stored hashes along the path after a counter change."""
+        for node in self.geo.path_to_root(counter_block):
+            h = self._computed_hash(node)
+            self._node_hash[(node.level, node.index)] = h
+        self._root = self._stored_hash(NodeId(self.geo.height, 0))
+
+    def verify(self, counter_block: int) -> None:
+        """Leaf-to-root verification; raises :class:`TamperDetected`."""
+        for node in self.geo.path_to_root(counter_block):
+            if self._computed_hash(node) != self._stored_hash(node):
+                raise TamperDetected(
+                    f"hash mismatch at level {node.level} node {node.index}")
+        if self._stored_hash(NodeId(self.geo.height, 0)) != self._root:
+            raise TamperDetected("root mismatch")
+
+    # -- adversary ------------------------------------------------------------------
+
+    def tamper_counter(self, page: int, block_in_page: int,
+                       value: int) -> None:
+        """Replay/forge a counter value in untrusted memory."""
+        cb = self.counters.block(page)
+        cb.minors[block_in_page] = value & cb.minor_max
+        # deliberately *no* refresh_path: memory changed behind the tree
+
+    def tamper_node(self, node: NodeId, raw: bytes) -> None:
+        self._node_hash[(node.level, node.index)] = raw

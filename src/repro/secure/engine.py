@@ -1,0 +1,205 @@
+"""Secure-memory engine protocol and the Baseline (global BMT) engine.
+
+The *engine* is everything behind the LLC: DRAM plus the secure-memory
+machinery (counters, MACs, integrity tree, metadata caches).  The
+simulator calls it on LLC misses, dirty write-backs and page lifecycle
+events.  All five evaluated schemes (Baseline, static partitioning,
+IvLeague-Basic/-Invert/-Pro) implement this interface, which is what
+makes every experiment scheme-agnostic.
+
+Timing model: the data fetch and the metadata fetch proceed in parallel;
+within the metadata path, counter fetch -> leaf-to-trusted-node traversal
+-> decryption is serial (each step needs the previous).  The access
+latency returned to the core is the max of the two paths.  Dirty
+write-backs are posted (they occupy DRAM banks but do not stall).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.mem import spaces
+from repro.mem.memctrl import MemoryController
+from repro.mem.mirage import make_cache
+from repro.secure.bmt import TreeGeometry
+from repro.sim.config import BLOCKS_PER_PAGE, MachineConfig
+from repro.sim.stats import EngineStats
+
+#: Writes to one page between modelled minor-counter overflows
+#: (7-bit minors overflow after 128 writes to one block; page-level we
+#: approximate with the expected fill across blocks).
+OVERFLOW_WRITES_PER_PAGE = 1024
+
+
+class SecureMemoryEngine(ABC):
+    """Base class: owns DRAM, metadata caches and shared accounting."""
+
+    name = "abstract"
+
+    def __init__(self, config: MachineConfig, seed: int = 11) -> None:
+        self.config = config
+        self.mc = MemoryController(config.dram)
+        self.stats = EngineStats()
+        sec = config.secure
+        self.counter_cache = make_cache(sec.counter_cache, "ctr$",
+                                        seed=seed * 3 + 1)
+        self.mac_cache = make_cache(sec.mac_cache, "mac$", seed=seed * 3 + 2)
+        self.tree_cache = self._build_tree_cache(seed)
+        # Per-domain (verifications, nodes_visited) for Fig. 16.
+        self.domain_path: dict[int, list[int]] = {}
+        self._page_writes: dict[int, int] = {}
+
+    # -- hooks for subclasses ------------------------------------------------------
+
+    def _build_tree_cache(self, seed: int):
+        return make_cache(self.config.secure.tree_cache, "tree$",
+                          seed=seed * 3)
+
+    @abstractmethod
+    def _verify_path(self, domain: int, pfn: int, now: float,
+                     for_write: bool) -> float:
+        """Fetch + verify the counter block of ``pfn``; returns latency."""
+
+    # -- shared low-level helpers ----------------------------------------------------
+
+    def _mread(self, addr: int, now: float) -> float:
+        lat = self.mc.read(addr, now)
+        if spaces.is_metadata(addr):
+            self.stats.dram_metadata_reads += 1
+        else:
+            self.stats.dram_data_reads += 1
+        return lat
+
+    def _mwrite(self, addr: int, now: float) -> None:
+        self.mc.write(addr, now)
+        if spaces.is_metadata(addr):
+            self.stats.dram_metadata_writes += 1
+        else:
+            self.stats.dram_data_writes += 1
+
+    def _fill(self, cache, addr: int, now: float, dirty: bool = False) -> None:
+        ev = cache.fill(addr, dirty=dirty)
+        if ev is not None and ev.dirty:
+            self._mwrite(ev.addr, now)
+
+    def _record_path(self, domain: int, visited: int) -> None:
+        self.stats.verifications += 1
+        self.stats.tree_nodes_visited += visited
+        rec = self.domain_path.setdefault(domain, [0, 0])
+        rec[0] += 1
+        rec[1] += visited
+
+    @staticmethod
+    def data_addr(pfn: int, block_in_page: int) -> int:
+        return spaces.tag(spaces.DATA, pfn * BLOCKS_PER_PAGE + block_in_page)
+
+    def mac_addr(self, pfn: int, block_in_page: int) -> int:
+        block = pfn * BLOCKS_PER_PAGE + block_in_page
+        return spaces.tag(spaces.MAC, block // 8)
+
+    # -- MAC path (identical across schemes) --------------------------------------------
+
+    def _mac_access(self, pfn: int, block_in_page: int, now: float,
+                    dirty: bool) -> float:
+        addr = self.mac_addr(pfn, block_in_page)
+        if self.mac_cache.lookup(addr, is_write=dirty):
+            self.stats.mac_hits += 1
+            return float(self.config.secure.mac_cache.hit_latency)
+        self.stats.mac_misses += 1
+        lat = self._mread(addr, now)
+        self._fill(self.mac_cache, addr, now, dirty=dirty)
+        return lat
+
+    # -- main entry points ------------------------------------------------------------
+
+    def data_access(self, domain: int, pfn: int, block_in_page: int,
+                    is_write: bool, now: float) -> float:
+        """LLC-missing access: fetch data + metadata; returns latency."""
+        if is_write:
+            self.stats.data_writes += 1
+        else:
+            self.stats.data_reads += 1
+        lat_data = self._mread(self.data_addr(pfn, block_in_page), now)
+        lat_mac = self._mac_access(pfn, block_in_page, now, dirty=is_write)
+        lat_meta = self._verify_path(domain, pfn, now, for_write=is_write)
+        # Decryption needs the verified counter; OTP generation overlaps
+        # the data fetch, so only the residual AES latency serialises.
+        lat_meta += self.config.secure.aes_latency
+        return max(lat_data, lat_mac, lat_meta)
+
+    def handle_writeback(self, domain: int, pfn: int, block_in_page: int,
+                         now: float) -> None:
+        """Dirty LLC eviction: counter bump, MAC refresh, posted write."""
+        self._verify_path(domain, pfn, now, for_write=True)
+        self._mac_access(pfn, block_in_page, now, dirty=True)
+        self._mwrite(self.data_addr(pfn, block_in_page), now)
+        writes = self._page_writes.get(pfn, 0) + 1
+        if writes >= OVERFLOW_WRITES_PER_PAGE:
+            writes = 0
+            self._reencrypt_page(pfn, now)
+        self._page_writes[pfn] = writes
+
+    def _reencrypt_page(self, pfn: int, now: float) -> None:
+        """Minor-counter overflow: stream the page through the crypto
+        engine (posted reads+writes; rare, so modelled without stall)."""
+        for b in range(0, BLOCKS_PER_PAGE, 8):
+            addr = self.data_addr(pfn, b)
+            self._mread(addr, now)
+            self._mwrite(addr, now)
+
+    # -- page / domain lifecycle (overridden by IvLeague) ---------------------------------
+
+    def on_domain_start(self, domain: int) -> None:
+        self.domain_path.setdefault(domain, [0, 0])
+
+    def on_domain_end(self, domain: int) -> None:
+        pass
+
+    def on_page_alloc(self, domain: int, pfn: int, now: float) -> float:
+        self.stats.page_allocs += 1
+        return 0.0
+
+    def on_page_free(self, domain: int, pfn: int, now: float) -> float:
+        self.stats.page_frees += 1
+        self._page_writes.pop(pfn, None)
+        return 0.0
+
+
+class BaselineEngine(SecureMemoryEngine):
+    """The paper's Baseline: one global BMT shared by every domain.
+
+    Statically addressed (no LMM/NFL); the global root is the only
+    implicitly trusted node.  Side-channel-insecure: tree blocks are
+    shared across domains, which the attack harness exploits.
+    """
+
+    name = "baseline"
+
+    def __init__(self, config: MachineConfig, seed: int = 11) -> None:
+        super().__init__(config, seed)
+        self.geo = TreeGeometry(config.counter_blocks)
+
+    def _verify_path(self, domain: int, pfn: int, now: float,
+                     for_write: bool) -> float:
+        sec = self.config.secure
+        ctr_addr = self.geo.counter_addr(pfn)
+        if self.counter_cache.lookup(ctr_addr, is_write=for_write):
+            self.stats.counter_hits += 1
+            return float(sec.counter_cache.hit_latency)
+        self.stats.counter_misses += 1
+        clock = now
+        clock += self._mread(ctr_addr, clock)
+        visited = 1  # the trusted terminator (cached node or root)
+        for node in self.geo.path_to_root(pfn):
+            if node.level >= self.geo.height:
+                break  # global root: on-chip, trusted
+            addr = self.geo.node_addr(node)
+            if self.tree_cache.lookup(addr, is_write=for_write):
+                break  # verified against an on-chip (trusted) copy
+            visited += 1
+            self.stats.tree_node_dram_reads += 1
+            clock += self._mread(addr, clock) + sec.hash_latency
+            self._fill(self.tree_cache, addr, clock, dirty=for_write)
+        self._record_path(domain, visited)
+        self._fill(self.counter_cache, ctr_addr, clock, dirty=for_write)
+        return clock - now

@@ -1,0 +1,253 @@
+"""Multi-core trace-driven simulator.
+
+Each core replays its benchmark trace against private L1/L2, the shared
+LLC and one secure-memory engine.  Cores advance on their own clocks;
+the simulator always steps the core with the smallest clock so shared
+structures (LLC, metadata caches, DRAM banks, TreeLing pool) observe a
+realistic interleaving without a cycle-by-cycle event queue.
+
+Page lifecycle is demand-driven: the first touch of a virtual page
+allocates a frame (and, under IvLeague, a TreeLing slot); churn events
+free random live pages which later *refault*.  Dirty LLC evictions flow
+back into the engine as write-backs (counter bump + MAC + posted write).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mem import spaces
+from repro.mem.hierarchy import CacheHierarchy
+from repro.osmodel.allocator import FrameAllocator
+from repro.osmodel.pagetable import PageTable
+from repro.osmodel.tlb import TLB
+from repro.secure.engine import SecureMemoryEngine
+from repro.sim.config import BLOCKS_PER_PAGE, MachineConfig
+from repro.sim.cpu import CoreModel
+from repro.sim.stats import CoreStats, RunResult
+from repro.workloads.generator import WorkloadSpec
+
+
+@dataclass
+class _CoreState:
+    domain: int
+    trace: object
+    pos: int = 0
+    clock: float = 0.0
+    warmup_clock: float = 0.0
+    vpn_base: int = 0
+    stats: CoreStats = None
+    live: dict = None          # vpage slot -> pfn
+    live_list: list = None     # for O(1) random victim choice
+    page_table: PageTable = None
+
+    def done(self) -> bool:
+        return self.pos >= len(self.trace)
+
+
+class Simulator:
+    """Runs one workload mix against one engine."""
+
+    def __init__(self, config: MachineConfig, engine: SecureMemoryEngine,
+                 seed: int = 123, frame_policy: str = "sequential") -> None:
+        # ``sequential`` models a freshly booted buddy allocator (what the
+        # paper's full-system runs see): first-touch faults land in mostly
+        # contiguous frames, so the static baseline mapping gets its
+        # natural leaf-node sharing.  ``random`` models a fragmented
+        # machine -- an ablation where IvLeague's dynamic mapping is
+        # immune but the static baseline degrades.
+        self.config = config
+        self.engine = engine
+        self.hierarchy = CacheHierarchy(config, seed=seed)
+        self.core_model = CoreModel(config.core)
+        self.allocator = FrameAllocator(config.memory_pages,
+                                        policy=frame_policy, seed=seed)
+        lmm = getattr(engine, "lmm_cache", None)
+        on_evict = None
+        if lmm is not None:
+            # Paper Section VI-C2: LMM-cache entries follow TLB evictions.
+            on_evict = lambda asid, vpn, pfn: lmm.invalidate(pfn)  # noqa: E731
+        self.tlb = TLB(config.tlb_entries, config.tlb_assoc,
+                       on_evict=on_evict)
+        self._rng = np.random.default_rng(seed + 17)
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _page_walk(self, core: int, page_table: PageTable, vpn: int,
+                   now: float) -> float:
+        """Hardware page-table walk through the shared cache hierarchy."""
+        lat = 0.0
+        walk = page_table.walk(vpn)
+        for addr in walk.touched_blocks:
+            res = self.hierarchy.access(core, addr, is_write=False)
+            lat += res.latency
+            if res.llc_miss:
+                lat += self.engine.mc.read(addr, now + lat)
+        # The extended PTE carries the leaf ID (Fig. 9b), so a walk
+        # refills the LMM cache for free -- no separate LMM fetch needed.
+        lmm = getattr(self.engine, "lmm_cache", None)
+        if lmm is not None and walk.pfn in self.engine.leafmap:
+            lmm.insert(walk.pfn, self.engine.leafmap.get(walk.pfn))
+        return lat
+
+    def _handle_writebacks(self, addrs, fallback_domain: int,
+                           now: float) -> None:
+        for addr in addrs:
+            blk = spaces.block_of(addr)
+            pfn, block_in_page = divmod(blk, BLOCKS_PER_PAGE)
+            domain = self.allocator.owner_of(pfn)
+            if domain is None:
+                domain = fallback_domain
+            self.engine.handle_writeback(domain, pfn, block_in_page, now)
+
+    def _alloc_page(self, state: _CoreState, slot: int, now: float) -> float:
+        confined = getattr(self.engine, "frame_range", None)
+        if confined is not None:
+            # Static partitioning: the OS must keep the domain's frames
+            # inside its partition's chunk.
+            lo, hi = confined(state.domain)
+            pfn = self.allocator.alloc_in_range(state.domain, lo, hi)
+        else:
+            pfn = self.allocator.alloc(state.domain)
+        lat = self.engine.on_page_alloc(state.domain, pfn, now)
+        state.live[slot] = pfn
+        state.live_list.append(slot)
+        state.page_table.map(state.vpn_base + slot, pfn)
+        self.tlb.insert(state.domain, state.vpn_base + slot, pfn)
+        return lat
+
+    def _churn(self, state: _CoreState, now: float) -> float:
+        """Free ``churn_pages`` random live pages (they refault later)."""
+        lat = 0.0
+        n = min(state.trace.churn_pages, max(0, len(state.live_list) - 8))
+        for _ in range(n):
+            idx = int(self._rng.integers(len(state.live_list)))
+            slot = state.live_list[idx]
+            state.live_list[idx] = state.live_list[-1]
+            state.live_list.pop()
+            pfn = state.live.pop(slot)
+            lat += self.engine.on_page_free(state.domain, pfn, now + lat)
+            state.page_table.unmap(state.vpn_base + slot)
+            self.tlb.invalidate(state.domain, state.vpn_base + slot)
+            self.allocator.free(pfn)
+        return lat
+
+    # -- main loop -------------------------------------------------------------------
+
+    def _step(self, ci: int, st: _CoreState) -> None:
+        """Process one trace access on core ``ci``."""
+        t = st.trace
+        i = st.pos
+
+        if (t.churn_every and i and i % t.churn_every == 0
+                and len(st.live_list) > 16):
+            st.clock += self._churn(st, st.clock)
+
+        gap = int(t.gap[i])
+        st.clock += gap * self.config.core.base_cpi
+        st.stats.instructions += gap + 1
+        st.stats.mem_accesses += 1
+
+        slot = int(t.vpage[i])
+        is_write = bool(t.is_write[i])
+        block = int(t.block[i])
+
+        pfn = st.live.get(slot)
+        if pfn is None:
+            st.clock += self._alloc_page(st, slot, st.clock)
+            pfn = st.live[slot]
+        elif self.tlb.lookup(st.domain, st.vpn_base + slot) is None:
+            st.clock += self._page_walk(ci, st.page_table,
+                                        st.vpn_base + slot, st.clock)
+            self.tlb.insert(st.domain, st.vpn_base + slot, pfn)
+
+        addr = spaces.tag(spaces.DATA, pfn * BLOCKS_PER_PAGE + block)
+        res = self.hierarchy.access(ci, addr, is_write)
+        latency = float(res.latency)
+        if res.llc_miss:
+            st.stats.llc_misses += 1
+            latency += self.engine.data_access(
+                st.domain, pfn, block, is_write, st.clock)
+        if res.writeback_addrs:
+            self._handle_writebacks(res.writeback_addrs, st.domain,
+                                    st.clock)
+        st.clock += self.core_model.access_cycles(latency)
+        st.pos += 1
+
+    def _drain(self, states: list[_CoreState], until: int) -> None:
+        """Advance every core to access index ``until`` (min-clock order)."""
+        heap = [(st.clock, i) for i, st in enumerate(states)
+                if st.pos < min(until, len(st.trace))]
+        heapq.heapify(heap)
+        while heap:
+            _, ci = heapq.heappop(heap)
+            st = states[ci]
+            self._step(ci, st)
+            if st.pos < min(until, len(st.trace)):
+                heapq.heappush(heap, (st.clock, ci))
+
+    def _reset_measurement(self, states: list[_CoreState]) -> None:
+        """Zero accumulated statistics at the warmup boundary."""
+        from repro.mem.memctrl import TrafficStats
+        from repro.sim.stats import EngineStats
+        self.engine.stats = EngineStats()
+        self.engine.mc.traffic = TrafficStats()
+        for rec in self.engine.domain_path.values():
+            rec[0] = rec[1] = 0
+        for st in states:
+            st.stats = CoreStats()
+            st.warmup_clock = st.clock
+
+    def run(self, workload: WorkloadSpec, warmup: int = 0) -> RunResult:
+        """Simulate; the first ``warmup`` accesses per core are excluded
+        from all reported statistics (the paper skips 2-5B instructions
+        before its 1B-instruction measurement window)."""
+        cfg = self.config
+        if len(workload.traces) > cfg.n_cores:
+            raise ValueError(
+                f"workload has {len(workload.traces)} traces but the "
+                f"machine has {cfg.n_cores} cores")
+        extended = hasattr(self.engine, "leafmap")
+        states: list[_CoreState] = []
+        tables: dict[int, PageTable] = {}
+        for i, trace in enumerate(workload.traces):
+            domain = workload.domain_of(i)
+            self.engine.on_domain_start(domain)
+            # Threads of one process share the IV domain and the page
+            # table; each thread works in its own VA region.
+            table = tables.setdefault(
+                domain, PageTable(domain, extended=extended))
+            st = _CoreState(
+                domain=domain, trace=trace, stats=CoreStats(),
+                live={}, live_list=[], page_table=table)
+            st.vpn_base = i << 24
+            st.warmup_clock = 0.0
+            states.append(st)
+
+        if warmup:
+            self._drain(states, warmup)
+            self._reset_measurement(states)
+        self._drain(states, max(len(st.trace) for st in states))
+
+        result = RunResult(scheme=self.engine.name, workload=workload.name)
+        for st in states:
+            st.stats.cycles = st.clock - st.warmup_clock
+            result.cores.append(st.stats)
+        result.engine = self.engine.stats
+        for st in states:
+            rec = self.engine.domain_path.get(st.domain, [0, 0])
+            result.per_core_path[st.trace.benchmark] = (rec[0], rec[1])
+        return result
+
+
+def run_workload(config: MachineConfig, engine_cls, workload: WorkloadSpec,
+                 seed: int = 123, warmup: int = 0,
+                 frame_policy: str = "sequential",
+                 **engine_kwargs) -> RunResult:
+    """Convenience: build an engine, run one workload, return the result."""
+    engine = engine_cls(config, seed=seed, **engine_kwargs)
+    sim = Simulator(config, engine, seed=seed, frame_policy=frame_policy)
+    return sim.run(workload, warmup=warmup)

@@ -1,0 +1,136 @@
+"""Statistics containers shared across the simulator and the engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A named event counter with a convenience rate helper."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass
+class EngineStats:
+    """Per-engine statistics accumulated over a simulation run.
+
+    The fields mirror exactly what the paper's evaluation figures report:
+    verification path lengths (Fig. 16), metadata memory traffic (Fig. 19),
+    NFLB hit rate (Fig. 18) and TreeLing utilization (Fig. 17b).
+    """
+
+    data_reads: int = 0
+    data_writes: int = 0
+    dram_data_reads: int = 0
+    dram_data_writes: int = 0
+    dram_metadata_reads: int = 0
+    dram_metadata_writes: int = 0
+    # Integrity verification transactions (data reads that required a
+    # counter fetch and therefore a tree traversal).
+    verifications: int = 0
+    tree_nodes_visited: int = 0      # node lookups incl. the terminating hit
+    tree_node_dram_reads: int = 0    # node lookups that missed on-chip
+    counter_hits: int = 0
+    counter_misses: int = 0
+    mac_hits: int = 0
+    mac_misses: int = 0
+    # IvLeague structures
+    lmm_hits: int = 0
+    lmm_misses: int = 0
+    nflb_hits: int = 0
+    nflb_misses: int = 0
+    page_allocs: int = 0
+    page_frees: int = 0
+    hot_migrations: int = 0
+    hot_demotions: int = 0
+    conversions: int = 0     # Invert slot-to-parent conversions
+
+    @property
+    def avg_path_length(self) -> float:
+        """Mean tree-node lookups per verification transaction (Fig. 16)."""
+        if not self.verifications:
+            return 0.0
+        return self.tree_nodes_visited / self.verifications
+
+    @property
+    def total_dram_accesses(self) -> int:
+        return (self.dram_data_reads + self.dram_data_writes
+                + self.dram_metadata_reads + self.dram_metadata_writes)
+
+    @property
+    def nflb_hit_rate(self) -> float:
+        total = self.nflb_hits + self.nflb_misses
+        return self.nflb_hits / total if total else 0.0
+
+    @property
+    def lmm_hit_rate(self) -> float:
+        total = self.lmm_hits + self.lmm_misses
+        return self.lmm_hits / total if total else 0.0
+
+
+@dataclass
+class CoreStats:
+    """Per-core progress and timing for weighted-IPC reporting."""
+
+    instructions: int = 0
+    cycles: float = 0.0
+    mem_accesses: int = 0
+    llc_misses: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class RunResult:
+    """Outcome of simulating one workload mix under one scheme."""
+
+    scheme: str
+    workload: str
+    cores: list[CoreStats] = field(default_factory=list)
+    engine: EngineStats = field(default_factory=EngineStats)
+    #: Per-benchmark verification path-length accounting, keyed by the
+    #: benchmark name running on each core (Fig. 16 is reported per
+    #: benchmark, averaged across the mixes containing it).
+    per_core_path: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def ipcs(self) -> list[float]:
+        return [c.ipc for c in self.cores]
+
+    def weighted_ipc(self, baseline: "RunResult") -> float:
+        """Weighted speedup versus a baseline run (Fig. 15 metric)."""
+        ratios = [
+            mine.ipc / ref.ipc
+            for mine, ref in zip(self.cores, baseline.cores)
+            if ref.ipc > 0
+        ]
+        return sum(ratios) / len(ratios) if ratios else 0.0
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean used by the paper for per-class summaries."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import scaled_config, tiny_config
+
+
+@pytest.fixture
+def tiny():
+    """Small machine: interesting cache events happen within a few
+    hundred accesses."""
+    return tiny_config(n_cores=2)
+
+
+@pytest.fixture
+def tiny4():
+    return tiny_config(n_cores=4)
+
+
+@pytest.fixture
+def scaled():
+    return scaled_config(n_cores=4)

@@ -1,0 +1,78 @@
+"""Cross-checks of the accounting plumbing: the engine's own statistics
+must agree with the memory controller's ground-truth traffic counters,
+and derived metrics must be internally consistent."""
+
+import pytest
+
+from repro import ENGINES, BaselineEngine, IvLeagueProEngine
+from repro.sim.simulator import Simulator
+from repro.workloads.generator import build_workload
+
+
+def run(engine_cls, tiny, n=2500):
+    wl = build_workload("t", ["dedup", "gcc"], n, seed=6, scale=0.05)
+    engine = engine_cls(tiny)
+    Simulator(tiny, engine, frame_policy="fragmented").run(wl)
+    return engine
+
+
+@pytest.mark.parametrize("engine_cls", list(ENGINES.values()))
+class TestEngineVsController:
+    def test_read_counters_match(self, tiny, engine_cls):
+        e = run(engine_cls, tiny)
+        assert e.stats.dram_data_reads + e.stats.dram_metadata_reads \
+            <= e.mc.traffic.data_reads + e.mc.traffic.metadata_reads
+        # engine-initiated reads are exactly the controller's minus the
+        # page-walk reads the simulator issues directly
+        assert e.stats.dram_data_reads == e.mc.traffic.data_reads
+
+    def test_write_counters_match(self, tiny, engine_cls):
+        e = run(engine_cls, tiny)
+        assert e.stats.dram_data_writes == e.mc.traffic.data_writes
+        assert e.stats.dram_metadata_writes == e.mc.traffic.metadata_writes
+
+    def test_verifications_bounded_by_counter_misses(self, tiny,
+                                                     engine_cls):
+        e = run(engine_cls, tiny)
+        assert e.stats.verifications <= e.stats.counter_misses + 1
+        assert e.stats.tree_nodes_visited >= e.stats.verifications
+
+    def test_path_components_consistent(self, tiny, engine_cls):
+        e = run(engine_cls, tiny)
+        # visited = verifications (the +1 terminators) + DRAM node reads
+        assert e.stats.tree_nodes_visited == \
+            e.stats.verifications + e.stats.tree_node_dram_reads
+
+    def test_dram_stats_cover_traffic(self, tiny, engine_cls):
+        e = run(engine_cls, tiny)
+        assert e.mc.dram.stats.reads == \
+            e.mc.traffic.data_reads + e.mc.traffic.metadata_reads
+        assert e.mc.dram.stats.writes == \
+            e.mc.traffic.data_writes + e.mc.traffic.metadata_writes
+
+
+class TestDerivedMetrics:
+    def test_mac_accounting(self, tiny):
+        e = run(BaselineEngine, tiny)
+        assert e.stats.mac_hits + e.stats.mac_misses \
+            == e.stats.data_reads + e.stats.data_writes \
+            + e.stats.page_frees * 0 + e.mc.traffic.data_writes
+
+    def test_pro_migration_bookkeeping(self, tiny):
+        e = run(IvLeagueProEngine, tiny, n=4000)
+        hot_now = sum(len(v) for v in e._hot_pages.values())
+        # promotions - demotions - freed-hot == currently hot
+        assert e.stats.hot_migrations >= e.stats.hot_demotions
+        assert hot_now <= e.stats.hot_migrations
+
+    def test_nfl_charges_recorded(self, tiny):
+        e = run(IvLeagueProEngine, tiny)
+        assert e.stats.nflb_hits + e.stats.nflb_misses > 0
+        assert 0.0 <= e.stats.nflb_hit_rate <= 1.0
+
+    def test_latencies_are_finite_positive(self, tiny):
+        e = BaselineEngine(tiny)
+        e.on_domain_start(1)
+        for i in range(200):
+            lat = e.data_access(1, i * 3, i % 64, bool(i % 2), i * 100.0)
+            assert 0 < lat < 100_000

@@ -1,0 +1,122 @@
+"""Tests for the analytical models: scalability (Fig. 21/22), hardware
+cost (Table III)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.hwcost import (cost_table, locked_root_bytes,
+                                   nfl_onchip_bytes,
+                                   offchip_overhead_fraction, total_area)
+from repro.analysis.scalability import (PAGE, SuccessConfig,
+                                        ivleague_success_rate,
+                                        random_footprints,
+                                        required_treelings,
+                                        static_success_rate,
+                                        treelings_for_footprints,
+                                        treelings_for_skewness)
+from repro.sim.config import paper_config, scaled_config
+
+GB = 1024 ** 3
+MB = 1024 ** 2
+
+
+class TestRequiredTreelings:
+    def test_paper_formula_shape(self):
+        # #tau = (D-1) + ceil((M-(D-1)*4KB)/S)
+        n = required_treelings(4096, 32 * GB, 64 * MB)
+        assert n == 4095 + -(-(32 * GB - 4095 * PAGE) // (64 * MB))
+
+    def test_single_domain(self):
+        assert required_treelings(1, 32 * GB, 64 * MB) == 512
+
+    def test_smaller_treelings_need_more(self):
+        small = required_treelings(64, 8 * GB, 8 * MB)
+        large = required_treelings(64, 8 * GB, 64 * MB)
+        assert small > large
+
+    def test_domain_floor_dominates_huge_treelings(self):
+        """Fig. 21 flattening: beyond some size, the count is pinned by
+        the number of domains, not coverage."""
+        a = required_treelings(4096, 8 * GB, 512 * MB)
+        b = required_treelings(4096, 8 * GB, 2048 * MB)
+        assert a - 4095 <= 16 and b - 4095 <= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_treelings(0, GB, MB)
+
+
+class TestFootprintDraws:
+    def test_skewness_respected(self):
+        rng = np.random.default_rng(1)
+        fp = random_footprints(16, 8 * GB, 0.5, rng)
+        assert fp[0] == pytest.approx(4 * GB, rel=0.01)
+
+    def test_all_domains_hold_a_page(self):
+        rng = np.random.default_rng(1)
+        fp = random_footprints(64, GB, 0.9, rng)
+        assert (fp >= PAGE).all()
+
+    def test_treelings_for_footprints_rounds_up(self):
+        fp = np.array([PAGE, 65 * MB])
+        assert treelings_for_footprints(fp, 64 * MB) == 1 + 2
+
+    def test_skewed_distributions_need_more_treelings(self):
+        lo = treelings_for_skewness(64 * MB, 8 * GB, 0.1,
+                                    n_domains=256, trials=8)
+        hi = treelings_for_skewness(64 * MB, 8 * GB, 1.0,
+                                    n_domains=256, trials=8)
+        assert hi >= lo
+
+
+class TestSuccessRates:
+    def cfg(self, util, domains=32, mem=32 * GB):
+        return SuccessConfig(memory_bytes=mem, n_domains=domains,
+                             utilization=util, n_partitions=domains)
+
+    def test_static_degrades_with_utilization(self):
+        low = static_success_rate(self.cfg(0.1), trials=60)
+        high = static_success_rate(self.cfg(0.8), trials=60)
+        assert low > high
+        assert high < 0.1
+
+    def test_ivleague_stays_high(self):
+        for util in (0.2, 0.8):
+            assert ivleague_success_rate(self.cfg(util), trials=60) > 0.95
+
+    def test_static_fails_with_more_domains_than_partitions(self):
+        cfg = SuccessConfig(memory_bytes=8 * GB, n_domains=64,
+                            utilization=0.2, n_partitions=32)
+        assert static_success_rate(cfg, trials=10) == 0.0
+
+
+class TestHwCost:
+    def test_table_rows(self):
+        rows = cost_table(paper_config())
+        names = [r.component for r in rows]
+        assert any("NFL" in n for n in names)
+        assert any("LMM" in n for n in names)
+        assert any("Hotpage" in n for n in names)
+
+    def test_total_area_is_small(self):
+        # paper: 0.3551 mm^2 total; same ballpark required
+        assert 0.05 < total_area(paper_config()) < 1.0
+
+    def test_area_monotone_in_storage(self):
+        rows = cost_table(paper_config())
+        big = max(rows, key=lambda r: r.storage_bytes)
+        small = min(rows, key=lambda r: r.storage_bytes)
+        assert big.area_mm2 > small.area_mm2
+
+    def test_offchip_overhead_below_one_percent(self):
+        assert offchip_overhead_fraction(paper_config()) < 0.01
+
+    def test_locked_bytes_reasonable_fraction_of_cache(self):
+        cfg = paper_config()
+        frac = locked_root_bytes(cfg) / cfg.secure.tree_cache.size_bytes
+        assert 0.05 < frac < 0.30   # paper: 32KB of 256KB (12.5%)
+
+    def test_nfl_scales_with_cores(self):
+        small = nfl_onchip_bytes(scaled_config(n_cores=2))
+        large = nfl_onchip_bytes(scaled_config(n_cores=4))
+        assert large == 2 * small

@@ -1,0 +1,85 @@
+"""Integration tests for the MetaLeak attack reproduction (Fig. 3)."""
+
+import pytest
+
+from repro import ENGINES
+from repro.attacks.channel import recover_exponent, signal_to_noise
+from repro.attacks.metaleak import MetaLeakAttack, attack_config
+from repro.attacks.rsa_victim import RsaVictim
+
+
+@pytest.fixture(scope="module")
+def traces():
+    """Run the attack once per scheme (module-scoped: it is expensive)."""
+    out = {}
+    victim = RsaVictim.random(n_bits=96, seed=7)
+    for scheme, cls in ENGINES.items():
+        engine = cls(attack_config(), seed=11)
+        out[scheme] = MetaLeakAttack(engine, seed=7).run(victim)
+    return out
+
+
+class TestVictim:
+    def test_bit_to_pages(self):
+        v = RsaVictim([1, 0])
+        steps = list(v.steps())
+        assert steps[0].pages == ("sqr", "mul")
+        assert steps[1].pages == ("sqr",)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            RsaVictim([0, 2])
+
+    def test_random_reproducible(self):
+        assert RsaVictim.random(64, seed=1).bits == \
+            RsaVictim.random(64, seed=1).bits
+
+
+class TestAttackOutcomes:
+    def test_baseline_leaks_the_exponent(self, traces):
+        result = recover_exponent(traces["baseline"])
+        assert result.accuracy > 0.85   # paper: 91.6% on real SGX
+
+    def test_baseline_has_clear_signal(self, traces):
+        assert signal_to_noise(traces["baseline"]) > 2.0
+
+    @pytest.mark.parametrize("scheme", ["ivleague-basic",
+                                        "ivleague-invert",
+                                        "ivleague-pro"])
+    def test_ivleague_defeats_the_attack(self, traces, scheme):
+        result = recover_exponent(traces[scheme])
+        assert 0.35 <= result.accuracy <= 0.65   # chance
+
+    @pytest.mark.parametrize("scheme", ["ivleague-basic",
+                                        "ivleague-invert",
+                                        "ivleague-pro"])
+    def test_ivleague_kills_the_signal(self, traces, scheme):
+        assert signal_to_noise(traces[scheme]) < 1.0
+
+    def test_victim_truth_recorded(self, traces):
+        t = traces["baseline"]
+        assert len(t.truth) == len(t.mul_latency) == 96
+
+
+class TestChannelAnalysis:
+    def test_recovery_on_synthetic_bimodal(self):
+        from repro.attacks.metaleak import AttackTrace
+        t = AttackTrace()
+        bits = [0, 1] * 50
+        for b in bits:
+            t.truth.append(b)
+            t.mul_latency.append(100.0 if b else 300.0)
+            t.sqr_latency.append(100.0)
+        r = recover_exponent(t)
+        assert r.accuracy == 1.0
+
+    def test_no_modulation_is_chance(self):
+        from repro.attacks.metaleak import AttackTrace
+        t = AttackTrace()
+        for b in [0, 1] * 50:
+            t.truth.append(b)
+            t.mul_latency.append(200.0)
+            t.sqr_latency.append(200.0)
+        r = recover_exponent(t)
+        assert r.accuracy == pytest.approx(0.5)
+        assert signal_to_noise(t) == 0.0

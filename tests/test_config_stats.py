@@ -1,0 +1,88 @@
+"""Tests for configuration objects and statistics containers."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import (BLOCKS_PER_PAGE, CacheConfig, DRAMConfig,
+                              IvLeagueConfig, paper_config,
+                              scaled_config, tiny_config)
+from repro.sim.stats import CoreStats, EngineStats, RunResult, geomean
+
+
+class TestConfig:
+    def test_paper_matches_table1(self):
+        cfg = paper_config()
+        assert cfg.n_cores == 8
+        assert cfg.memory_bytes == 32 * 1024 ** 3
+        assert cfg.llc.size_bytes == 8 * 1024 ** 2
+        assert cfg.secure.aes_latency == 20
+        assert cfg.secure.tree_cache.size_bytes == 256 * 1024
+        assert cfg.ivleague.n_treelings == 4096
+        assert cfg.ivleague.max_domains == 2 ** 12
+        assert cfg.ivleague.nflb_entries == 2
+        assert cfg.ivleague.hot_tracker_entries == 128
+
+    def test_scaled_preserves_ratios(self):
+        p, s = paper_config(), scaled_config()
+        paper_ratio = p.memory_bytes / p.secure.tree_cache.size_bytes
+        scaled_ratio = s.memory_bytes / s.secure.tree_cache.size_bytes
+        assert scaled_ratio == pytest.approx(paper_ratio, rel=0.01)
+
+    def test_cache_geometry(self):
+        c = CacheConfig(64 * 1024, 8, hit_latency=1)
+        assert c.n_blocks == 1024
+        assert c.n_sets == 128
+
+    def test_dram_latencies_ordered(self):
+        d = DRAMConfig()
+        assert d.row_hit_latency < d.row_miss_latency
+
+    def test_treeling_coverage(self):
+        iv = IvLeagueConfig(treeling_height=4)
+        assert iv.pages_per_treeling == 4096
+        assert iv.treeling_bytes == 16 * 1024 ** 2
+
+    def test_with_helpers_return_new_config(self):
+        cfg = tiny_config()
+        cfg2 = cfg.with_ivleague(treeling_height=2)
+        assert cfg.ivleague.treeling_height != 2
+        assert cfg2.ivleague.treeling_height == 2
+        cfg3 = cfg.with_secure(aes_latency=40)
+        assert cfg3.secure.aes_latency == 40
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            tiny_config().n_cores = 99
+
+    def test_derived_block_counts(self):
+        cfg = tiny_config()
+        assert cfg.memory_pages * BLOCKS_PER_PAGE == cfg.memory_blocks
+
+
+class TestStats:
+    def test_engine_stats_path_length(self):
+        e = EngineStats(verifications=4, tree_nodes_visited=6)
+        assert e.avg_path_length == 1.5
+        assert EngineStats().avg_path_length == 0.0
+
+    def test_nflb_hit_rate(self):
+        e = EngineStats(nflb_hits=3, nflb_misses=1)
+        assert e.nflb_hit_rate == 0.75
+
+    def test_core_ipc(self):
+        c = CoreStats(instructions=100, cycles=50.0)
+        assert c.ipc == 2.0
+
+    def test_weighted_ipc(self):
+        a = RunResult("x", "w")
+        b = RunResult("y", "w")
+        a.cores = [CoreStats(100, 100.0), CoreStats(100, 200.0)]
+        b.cores = [CoreStats(100, 200.0), CoreStats(100, 200.0)]
+        # a vs b: core0 2x faster, core1 equal -> 1.5
+        assert a.weighted_ipc(b) == pytest.approx(1.5)
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+        assert geomean([2.0, 0.0]) == pytest.approx(2.0)  # zeros skipped

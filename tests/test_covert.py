@@ -1,0 +1,44 @@
+"""Tests for the metadata covert channel."""
+
+import pytest
+
+from repro import ENGINES
+from repro.attacks.covert import CovertChannel, random_message
+from repro.attacks.metaleak import attack_config
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    msg = random_message(48, seed=4)
+    out = {}
+    for scheme in ("baseline", "ivleague-basic", "ivleague-pro"):
+        engine = ENGINES[scheme](attack_config(), seed=11)
+        out[scheme] = CovertChannel(engine, seed=4).transmit(msg)
+    return out
+
+
+class TestCovertChannel:
+    def test_baseline_transmits_reliably(self, outcomes):
+        r = outcomes["baseline"]
+        assert r.bit_error_rate < 0.15
+
+    def test_baseline_capacity_positive(self, outcomes):
+        assert outcomes["baseline"].capacity_bits_per_kilocycle > 0.0
+
+    @pytest.mark.parametrize("scheme", ["ivleague-basic", "ivleague-pro"])
+    def test_ivleague_breaks_the_channel(self, outcomes, scheme):
+        r = outcomes[scheme]
+        assert r.bit_error_rate > 0.3    # coin-flipping territory
+
+    def test_result_accounting(self, outcomes):
+        r = outcomes["baseline"]
+        assert len(r.sent) == len(r.received) == 48
+        assert r.cycles_per_bit > 0
+
+
+class TestMessage:
+    def test_random_message_deterministic(self):
+        assert random_message(16, seed=1) == random_message(16, seed=1)
+
+    def test_bits_are_binary(self):
+        assert set(random_message(64)) <= {0, 1}

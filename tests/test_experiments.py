@@ -1,0 +1,128 @@
+"""Smoke tests for the experiment harnesses (quick scale, small mixes).
+
+Each figure/table module must produce well-formed rows; the paper-shape
+assertions themselves live in the benchmark harness and EXPERIMENTS.md
+(they need full-scale runs).
+"""
+
+import pytest
+
+from repro.experiments import (fig03_attack, fig15_weighted_ipc,
+                               fig16_path_length, fig17_nfl, fig18_nflb,
+                               fig19_mem_accesses, fig20_sensitivity,
+                               fig21_treeling_count, fig22_success_rate,
+                               runner, tab01_config, tab02_workloads,
+                               tab03_hwcost)
+from repro.experiments.common import QUICK, Scale, format_table, get_scale
+
+#: Tiny scale for CI smoke runs.
+SMOKE = Scale("quick", n_accesses=2_500, warmup=800)
+MIXES = ["S-1", "L-1"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    runner.clear_cache()
+    yield
+
+
+class TestCommon:
+    def test_get_scale(self):
+        assert get_scale("quick") is QUICK
+        assert get_scale(SMOKE) is SMOKE
+        with pytest.raises(KeyError):
+            get_scale("warp")
+
+    def test_format_table(self):
+        out = format_table([{"a": 1, "b": 0.5}])
+        assert "a" in out and "0.500" in out
+
+
+class TestRunnerCache:
+    def test_results_are_cached(self):
+        r1 = runner.run_mix("S-1", "baseline", SMOKE)
+        r2 = runner.run_mix("S-1", "baseline", SMOKE)
+        assert r1 is r2
+
+
+class TestSimulationFigures:
+    def test_fig15_rows(self):
+        rows = fig15_weighted_ipc.compute(SMOKE, mixes=MIXES)
+        names = [r["mix"] for r in rows]
+        assert "S-1" in names and "gmeanS" in names
+        base = next(r for r in rows if r["mix"] == "S-1")
+        assert base["baseline"] == pytest.approx(1.0)
+        for r in rows:
+            for s in ("ivleague-basic", "ivleague-invert", "ivleague-pro"):
+                assert 0.3 < r[s] < 3.0
+
+    def test_fig16_rows(self):
+        rows = fig16_path_length.compute(SMOKE, mixes=MIXES)
+        benches = {r["benchmark"] for r in rows}
+        assert {"gcc", "bfs"} <= benches
+        for r in rows:
+            for s in ("baseline", "ivleague-pro"):
+                assert 1.0 <= r[s] < 8.0
+
+    def test_fig18_rows(self):
+        rows = fig18_nflb.compute(SMOKE, mixes=MIXES)
+        for r in rows:
+            assert 0.5 < r["ivleague-basic"] <= 1.0
+
+    def test_fig19_rows(self):
+        rows = fig19_mem_accesses.compute(SMOKE, mixes=MIXES)
+        for r in rows:
+            assert 0.5 < r["ivleague-basic"] < 2.0
+
+    def test_fig17_rows(self):
+        perf, util = fig17_nfl.compute(SMOKE, mixes=["S-1"])
+        assert perf[0]["mix"] == "S-1"
+        assert isinstance(perf[0]["BV-v2"], (float, str))
+        assert util[0]["utilization"] > 0.99
+
+    def test_fig20_rows(self):
+        tiny_scale = Scale("quick", n_accesses=1_500, warmup=500)
+        rows = fig20_sensitivity.compute_treeling_size(
+            tiny_scale, mixes=["S-1"])
+        assert len(rows) == 3
+        rows_b = fig20_sensitivity.compute_cache_size(
+            tiny_scale, mixes=["S-1"])
+        assert len(rows_b) == len(fig20_sensitivity.CACHE_SWEEP_KB)
+
+
+class TestAnalyticalFigures:
+    def test_fig21(self):
+        rows = fig21_treeling_count.compute(n_domains=256, trials=4)
+        assert len(rows) == 12
+        # monotone: bigger TreeLings never require more
+        by_mem = [r for r in rows if r["memory"] == "8GB"]
+        needs = [r["skew=1.0"] for r in by_mem]
+        assert needs == sorted(needs, reverse=True)
+
+    def test_fig22(self):
+        rows = fig22_success_rate.compute(trials=20)
+        assert all(0.0 <= r["static"] <= 1.0 for r in rows)
+        ivmin = min(r["ivleague"] for r in rows)
+        assert ivmin > 0.9
+
+    def test_fig03(self):
+        rows = fig03_attack.compute(n_bits=48, seed=3)
+        acc = {r["scheme"]: r["accuracy"] for r in rows}
+        assert acc["baseline"] > 0.8
+        assert acc["ivleague-pro"] < 0.7
+
+
+class TestTables:
+    def test_tab01(self):
+        rows = tab01_config.compute()
+        params = {r["parameter"] for r in rows}
+        assert "TreeLing" in params and "Integrity tree" in params
+
+    def test_tab02(self):
+        rows = tab02_workloads.compute()
+        assert len(rows) == 16
+
+    def test_tab03(self):
+        rows = tab03_hwcost.compute()
+        assert len(rows) == 3
+        assert all(r["area_mm2"] > 0 for r in rows)

@@ -1,0 +1,175 @@
+"""Tests for the Node Free-List and the on-chip NFL buffer."""
+
+import pytest
+
+from repro.core.nfl import ChainedNFL, NFLBuffer, FULL_MASK
+from repro.sim.config import NFL_ENTRIES_PER_BLOCK, TREE_ARITY
+
+
+def chain_with(n_nodes=16, treeling=0):
+    c = ChainedNFL()
+    c.append_treeling(treeling, list(range(treeling * 1000,
+                                           treeling * 1000 + n_nodes)))
+    return c
+
+
+class TestAllocation:
+    def test_first_alloc_is_first_slot(self):
+        c = chain_with()
+        op = c.alloc()
+        assert op.ok
+        assert (op.node_global, op.slot) == (0, 0)
+
+    def test_allocation_fills_node_before_advancing(self):
+        c = chain_with()
+        nodes = [c.alloc().node_global for _ in range(TREE_ARITY + 1)]
+        assert nodes[:TREE_ARITY] == [0] * TREE_ARITY
+        assert nodes[TREE_ARITY] == 1
+
+    def test_exhaustion_requests_treeling(self):
+        c = chain_with(n_nodes=2)
+        for _ in range(2 * TREE_ARITY):
+            assert c.alloc().ok
+        op = c.alloc()
+        assert not op.ok and op.needs_treeling
+
+    def test_alloc_continues_into_appended_treeling(self):
+        c = chain_with(n_nodes=1)
+        for _ in range(TREE_ARITY):
+            c.alloc()
+        assert not c.alloc().ok
+        c.append_treeling(1, [1000])
+        op = c.alloc()
+        assert op.ok and op.node_global == 1000
+
+    def test_initial_avail_mask_respected(self):
+        c = ChainedNFL()
+        c.append_treeling(0, [5, 6], initial_avail=[FULL_MASK & ~1,
+                                                    FULL_MASK])
+        op = c.alloc()
+        assert (op.node_global, op.slot) == (5, 1)   # slot 0 reserved
+
+    def test_touched_blocks_reported(self):
+        c = chain_with()
+        op = c.alloc()
+        assert len(op.touched_blocks) == 1
+
+    def test_empty_treeling_rejected(self):
+        c = ChainedNFL()
+        with pytest.raises(ValueError):
+            c.append_treeling(0, [])
+
+
+class TestDeallocation:
+    def test_free_then_realloc_same_slot(self):
+        c = chain_with()
+        op = c.alloc()
+        c.free(op.node_global, op.slot)
+        op2 = c.alloc()
+        assert (op2.node_global, op2.slot) == (op.node_global, op.slot)
+
+    def test_fig8d_inplace_update(self):
+        """Entry in the head block: direct availability update."""
+        c = chain_with()
+        ops = [c.alloc() for _ in range(4)]
+        r = c.free(ops[0].node_global, ops[0].slot)
+        assert r.ok and not r.leaked
+        assert len(r.touched_blocks) == 1
+
+    def test_fig8e_entry_replacement(self):
+        """Entry not in head block, a fully-assigned entry exists there:
+        the full entry is overwritten to track the freed node."""
+        c = chain_with(n_nodes=NFL_ENTRIES_PER_BLOCK * 2)
+        # fill block 0 entirely and move into block 1
+        n_fill = NFL_ENTRIES_PER_BLOCK * TREE_ARITY + 1
+        ops = [c.alloc() for _ in range(n_fill)]
+        assert c.head_block == 1
+        # fill a bit of block 1 so it contains a fully-assigned entry
+        for _ in range(TREE_ARITY - 1):
+            c.alloc()
+        # free a node tracked (originally) in block 0
+        r = c.free(ops[0].node_global, ops[0].slot)
+        assert r.ok and not r.leaked
+        # the freed slot is reachable again
+        got = set()
+        while True:
+            op = c.alloc()
+            if not op.ok:
+                break
+            got.add((op.node_global, op.slot))
+        assert (ops[0].node_global, ops[0].slot) in got
+
+    def test_fig8f_head_moves_back(self):
+        """No full entry in the head block: head steps back one block."""
+        c = chain_with(n_nodes=NFL_ENTRIES_PER_BLOCK * 2)
+        total = NFL_ENTRIES_PER_BLOCK * 2 * TREE_ARITY
+        ops = [c.alloc() for _ in range(total)]
+        assert c.is_exhausted()
+        head_before = c.head_block
+        r = c.free(ops[0].node_global, ops[0].slot)
+        assert r.ok
+        assert c.head_block <= head_before
+
+    def test_leak_when_no_room_to_track(self):
+        c = chain_with(n_nodes=1)
+        op = c.alloc()   # head block entries: [node0, pad...]
+        # free slot of an *unrelated* node while head is at block 0 and
+        # block 0 has no fully-assigned entry -> untracked leak
+        r = c.free(999, 0)
+        assert r.leaked
+        assert c.leaked_slots == 1
+
+    def test_utilization_accounting(self):
+        c = chain_with(n_nodes=4)
+        assert c.total_slots() == 4 * TREE_ARITY
+        assert c.tracked_free_slots() == 4 * TREE_ARITY
+        c.alloc()
+        assert c.tracked_free_slots() == 4 * TREE_ARITY - 1
+
+
+class TestReserve:
+    def test_reserve_specific_slot(self):
+        c = chain_with()
+        r = c.reserve(0, 3)
+        assert r.ok
+        # slot 3 of node 0 is never handed out now
+        slots = [c.alloc() for _ in range(TREE_ARITY - 1)]
+        assert all(not (o.node_global == 0 and o.slot == 3)
+                   for o in slots)
+
+    def test_reserve_untracked_is_noop(self):
+        c = chain_with()
+        r = c.reserve(999, 0)
+        assert r.ok and r.touched_blocks == ()
+
+
+class TestNFLBuffer:
+    def test_hit_after_access(self):
+        b = NFLBuffer(entries=2)
+        hit, ev = b.access(100)
+        assert not hit and ev is None
+        hit, _ = b.access(100)
+        assert hit
+
+    def test_lru_eviction_with_dirty_writeback(self):
+        b = NFLBuffer(entries=2)
+        b.access(1)
+        b.access(2)
+        hit, ev = b.access(3)
+        assert not hit
+        assert ev == 1          # LRU, dirty by default
+        assert b.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        b = NFLBuffer(entries=1)
+        b.access(1, dirty=False)
+        _, ev = b.access(2, dirty=False)
+        assert ev is None
+        assert b.writebacks == 0
+
+    def test_hit_rate(self):
+        b = NFLBuffer(entries=4)
+        b.access(1)
+        b.access(1)
+        b.access(1)
+        assert b.hit_rate == pytest.approx(2 / 3)

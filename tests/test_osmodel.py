@@ -1,0 +1,176 @@
+"""Tests for the OS-model substrate: allocator, page table, TLB, process."""
+
+import pytest
+
+from repro.osmodel.allocator import FrameAllocator, OutOfMemoryError
+from repro.osmodel.pagetable import (CLASSIC_BITS, IVLEAGUE_BITS, PageTable)
+from repro.osmodel.process import DomainRegistry, Process
+from repro.osmodel.tlb import TLB
+
+
+class TestAllocator:
+    def test_alloc_free_roundtrip(self):
+        a = FrameAllocator(64, policy="sequential")
+        pfn = a.alloc(owner=1)
+        assert a.owner_of(pfn) == 1
+        a.free(pfn)
+        assert a.owner_of(pfn) is None
+
+    def test_sequential_policy_is_contiguous(self):
+        a = FrameAllocator(16, policy="sequential")
+        assert [a.alloc(1) for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_random_policy_is_permuted(self):
+        a = FrameAllocator(4096, policy="random", seed=3)
+        first = [a.alloc(1) for _ in range(16)]
+        assert first != sorted(first)
+
+    def test_fragmented_policy_has_runs(self):
+        a = FrameAllocator(4096, policy="fragmented", seed=3)
+        got = [a.alloc(1) for _ in range(512)]
+        # within a 64-frame run allocations are contiguous
+        assert got[1] == got[0] + 1
+        # but across runs they jump
+        assert any(abs(got[i + 1] - got[i]) > 1 for i in range(511))
+
+    def test_exhaustion_raises(self):
+        a = FrameAllocator(2, policy="sequential")
+        a.alloc(1)
+        a.alloc(1)
+        with pytest.raises(OutOfMemoryError):
+            a.alloc(1)
+
+    def test_double_free_rejected(self):
+        a = FrameAllocator(4, policy="sequential")
+        pfn = a.alloc(1)
+        a.free(pfn)
+        with pytest.raises(ValueError):
+            a.free(pfn)
+
+    def test_alloc_in_range(self):
+        a = FrameAllocator(128, policy="random", seed=1)
+        pfn = a.alloc_in_range(1, 32, 64)
+        assert 32 <= pfn < 64
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            FrameAllocator(4, policy="chaotic")
+
+
+class TestPageTable:
+    def test_map_translate_unmap(self):
+        pt = PageTable(asid=1)
+        pt.map(100, 55)
+        assert pt.translate(100) == 55
+        assert pt.unmap(100) == 55
+        assert pt.translate(100) is None
+
+    def test_double_map_rejected(self):
+        pt = PageTable(asid=1)
+        pt.map(1, 2)
+        with pytest.raises(ValueError):
+            pt.map(1, 3)
+
+    def test_leaf_id_requires_extended(self):
+        pt = PageTable(asid=1, extended=False)
+        with pytest.raises(ValueError):
+            pt.map(1, 2, leaf_id=9)
+
+    def test_extended_pte_stores_leaf(self):
+        pt = PageTable(asid=1, extended=True)
+        pt.map(1, 2, leaf_id=77)
+        assert pt.leaf_of(1) == 77
+        pt.set_leaf(1, 99)
+        assert pt.leaf_of(1) == 99
+
+    def test_extended_layout_halves_leaf_fanout(self):
+        classic = PageTable(1)
+        extended = PageTable(2, extended=True)
+        assert classic.entries_per_leaf_page() == 512
+        assert extended.entries_per_leaf_page() == 256
+        assert classic.bits == CLASSIC_BITS
+        assert extended.bits == IVLEAGUE_BITS
+
+    def test_walk_touches_one_block_per_level(self):
+        pt = PageTable(asid=3, extended=True)
+        pt.map(42, 7, leaf_id=5)
+        walk = pt.walk(42)
+        assert walk.pfn == 7
+        assert walk.leaf_id == 5
+        assert len(walk.touched_blocks) == len(IVLEAGUE_BITS)
+        assert len(set(walk.touched_blocks)) == len(walk.touched_blocks)
+
+    def test_walk_page_fault(self):
+        pt = PageTable(asid=1)
+        with pytest.raises(KeyError):
+            pt.walk(404)
+
+    def test_neighbouring_vpns_share_walk_prefix(self):
+        pt = PageTable(asid=1)
+        pt.map(64, 1)
+        pt.map(65, 2)
+        w1, w2 = pt.walk(64), pt.walk(65)
+        # top levels identical, leaf level may differ
+        assert w1.touched_blocks[1:] == w2.touched_blocks[1:]
+
+
+class TestTLB:
+    def test_hit_after_insert(self):
+        t = TLB(entries=16, assoc=4)
+        t.insert(1, 100, 7)
+        assert t.lookup(1, 100) == 7
+        assert t.stats.hits == 1
+
+    def test_asid_isolation(self):
+        t = TLB(entries=16, assoc=4)
+        t.insert(1, 100, 7)
+        assert t.lookup(2, 100) is None
+
+    def test_eviction_hook_fires(self):
+        evicted = []
+        t = TLB(entries=4, assoc=1,
+                on_evict=lambda a, v, p: evicted.append((a, v, p)))
+        for vpn in range(0, 64, 4):  # same set under vpn % n_sets
+            t.insert(1, vpn, vpn + 1)
+        assert evicted
+
+    def test_flush_asid(self):
+        t = TLB(entries=16, assoc=4)
+        t.insert(1, 1, 1)
+        t.insert(1, 2, 2)
+        t.insert(2, 3, 3)
+        assert t.flush_asid(1) == 2
+        assert t.lookup(2, 3) == 3
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            TLB(entries=10, assoc=4)
+
+
+class TestProcess:
+    def make(self):
+        alloc = FrameAllocator(256, policy="sequential")
+        return Process(1, "p", alloc)
+
+    def test_allocate_and_free_page(self):
+        p = self.make()
+        ev = p.allocate_page()
+        assert p.footprint_pages == 1
+        assert p.translate(ev.vpn) == ev.pfn
+        ev2 = p.free_page(ev.vpn)
+        assert ev2.pfn == ev.pfn
+        assert p.footprint_pages == 0
+
+    def test_free_unknown_vpn_rejected(self):
+        p = self.make()
+        with pytest.raises(KeyError):
+            p.free_page(1234)
+
+    def test_registry(self):
+        reg = DomainRegistry()
+        p = self.make()
+        reg.register(p)
+        assert reg[1] is p
+        with pytest.raises(ValueError):
+            reg.register(p)
+        assert reg.remove(1) is p
