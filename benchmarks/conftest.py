@@ -7,13 +7,31 @@ Heavy simulations use ``benchmark.pedantic(rounds=1)`` -- the interesting
 output is the experiment rows, not nanosecond timing stability.
 """
 
+import os
+
 import pytest
 
 from repro.experiments.common import Scale
+from repro.sim.simulator import CHECK_INVARIANTS_ENV
 
 #: Scale used by the benchmark harness.
 BENCH_SCALE = Scale("quick", n_accesses=14_000, warmup=6_000)
 BENCH_MIXES = ["S-1", "M-1", "L-1"]
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _check_invariants_everywhere():
+    """Every benchmark run doubles as an accounting tripwire: the stat
+    conservation invariants are verified after each simulation, so a
+    perf change that unbalances a ledger fails here instead of silently
+    skewing the regenerated figures."""
+    old = os.environ.get(CHECK_INVARIANTS_ENV)
+    os.environ[CHECK_INVARIANTS_ENV] = "1"
+    yield
+    if old is None:
+        os.environ.pop(CHECK_INVARIANTS_ENV, None)
+    else:
+        os.environ[CHECK_INVARIANTS_ENV] = old
 
 
 @pytest.fixture(scope="session")

@@ -23,6 +23,7 @@ from repro.secure.vault import VaultEngine
 from repro.secure.static_partition import StaticPartitionEngine
 from repro.sim.config import (MachineConfig, paper_config, scaled_config,
                               tiny_config)
+from repro.sim.registry import InvariantViolation, StatsRegistry
 from repro.sim.simulator import Simulator, run_workload
 from repro.sim.stats import RunResult, geomean
 from repro.workloads.generator import (WorkloadSpec, build_workload,
@@ -53,7 +54,7 @@ __all__ = [
     "IvLeagueInvertEngine", "IvLeagueProEngine", "MIXES", "MachineConfig",
     "RunResult", "SecureMemoryEngine", "Simulator", "StaticPartitionEngine",
     "WorkloadSpec", "build_mix", "build_workload", "generate_trace",
-    "VaultEngine", "EXTRA_ENGINES",
+    "VaultEngine", "EXTRA_ENGINES", "InvariantViolation", "StatsRegistry",
     "geomean", "paper_config", "run_workload", "scaled_config",
     "tiny_config",
 ]

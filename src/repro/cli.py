@@ -24,7 +24,8 @@ def _cmd_run(args) -> int:
     for scheme in schemes:
         results[scheme] = run_workload(
             cfg, ENGINES[scheme], workload, warmup=args.accesses // 3,
-            frame_policy=args.frames)
+            frame_policy=args.frames,
+            check_invariants=args.check_invariants or None)
     base = results.get("baseline")
     print(f"{'scheme':18s} {'IPC/core':>24s} {'path':>6s} {'DRAM':>9s}")
     for scheme, r in results.items():
@@ -34,6 +35,14 @@ def _cmd_run(args) -> int:
               f"{r.engine.total_dram_accesses:9d}"
               + (f"  (weighted {r.weighted_ipc(base):.3f})"
                  if base and scheme != "baseline" else ""))
+    if args.check_invariants:
+        print(f"invariants OK for {len(results)} scheme(s)")
+    if args.dump_stats:
+        import json
+        payload = {s: r.registry_snapshot for s, r in results.items()}
+        with open(args.dump_stats, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+        print(f"wrote measurement-window stats to {args.dump_stats}")
     return 0
 
 
@@ -109,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--accesses", type=int, default=12_000)
     run.add_argument("--frames", default="fragmented",
                      choices=["sequential", "fragmented", "random"])
+    run.add_argument("--check-invariants", action="store_true",
+                     help="verify cross-component stat conservation laws "
+                          "after each run (exits non-zero on violation)")
+    run.add_argument("--dump-stats", default=None, metavar="PATH",
+                     help="write the full per-scheme counter snapshot "
+                          "(measurement window only) as JSON")
     run.set_defaults(func=_cmd_run)
 
     atk = sub.add_parser("attack", help="MetaLeak demonstration")
@@ -140,6 +155,12 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:
         # output piped into a pager/head that closed early: not an error
         return 0
+    except Exception as exc:
+        from repro.sim.registry import InvariantViolation
+        if isinstance(exc, InvariantViolation):
+            print(f"stat invariant violation:\n{exc}", file=sys.stderr)
+            return 1
+        raise
 
 
 if __name__ == "__main__":

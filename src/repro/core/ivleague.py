@@ -59,6 +59,32 @@ class IvLeagueBasicEngine(SecureMemoryEngine):
         self.locked_tree_blocks = locked
         return make_cache(shrunk, "tree$", seed=seed * 3)
 
+    # -- statistics registration -----------------------------------------------------
+
+    def register_stats(self, registry) -> None:
+        super().register_stats(registry)
+        self.lmm_cache.register_stats(registry)
+        # NFL buffers appear per domain as domains start; a provider
+        # re-enumerates them so late-created buffers still obey the
+        # measurement window.
+        registry.register_provider(
+            "nflb",
+            lambda: [(f"domain{d}", buf, ("hits", "misses", "writebacks"))
+                     for d, buf in sorted(self._nflb.items())])
+        registry.add_equality(
+            "lmm-accounting",
+            "engine (lmm_hits, lmm_misses)",
+            lambda: (self.stats.lmm_hits, self.stats.lmm_misses),
+            "lmm$ (hits, misses)",
+            lambda: (self.lmm_cache.hits, self.lmm_cache.misses))
+        registry.add_equality(
+            "nflb-accounting",
+            "engine (nflb_hits, nflb_misses)",
+            lambda: (self.stats.nflb_hits, self.stats.nflb_misses),
+            "sum over per-domain NFLBs (hits, misses)",
+            lambda: (sum(b.hits for b in self._nflb.values()),
+                     sum(b.misses for b in self._nflb.values())))
+
     # -- NFL plumbing ------------------------------------------------------------------
 
     def _node_order(self, treeling: int) -> list[int]:

@@ -35,6 +35,9 @@ class LMMCache:
         self.hits = 0
         self.misses = 0
 
+    def register_stats(self, registry, name: str = "lmm$") -> None:
+        registry.register(name, self, ("hits", "misses"))
+
     def _set(self, pfn: int) -> OrderedDict[int, int]:
         return self._sets[pfn % self.n_sets]
 

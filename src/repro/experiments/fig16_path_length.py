@@ -22,7 +22,10 @@ def compute(scale="quick", mixes=None, frame_policy=None) -> list[dict]:
         lambda: defaultdict(lambda: [0, 0]))
     for mix, per_scheme in results.items():
         for scheme, result in per_scheme.items():
-            for bench, (verifs, visited) in result.per_core_path.items():
+            # per-benchmark aggregation counts each IV domain once even
+            # when several cores (threads) share it
+            for bench, (verifs, visited) in \
+                    result.path_by_benchmark().items():
                 acc[bench][scheme][0] += verifs
                 acc[bench][scheme][1] += visited
     rows = []

@@ -120,6 +120,12 @@ class Cache:
 
     # -- introspection -------------------------------------------------------
 
+    def register_stats(self, registry, name: str | None = None) -> None:
+        """Register hit/miss/eviction counters with a StatsRegistry."""
+        name = name or self.name
+        registry.register(name, self.stats)
+        registry.register(name, self, ("evictions", "writebacks"))
+
     def __len__(self) -> int:
         return sum(len(s) for s in self._sets)
 

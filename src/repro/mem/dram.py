@@ -48,6 +48,10 @@ class DRAM:
         self.stats = DRAMStats()
         self._blocks_per_row = config.row_bytes // 64
 
+    def register_stats(self, registry, name: str = "dram") -> None:
+        """Register device-level counters (open-row state is not a stat)."""
+        registry.register(name, self.stats)
+
     # -- address mapping -----------------------------------------------------
 
     def bank_and_row(self, addr: int) -> tuple[int, int]:

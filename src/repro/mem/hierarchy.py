@@ -37,6 +37,11 @@ class CacheHierarchy:
                    for i in range(config.n_cores)]
         self.llc = make_cache(config.llc, "llc", seed=seed)
 
+    def register_stats(self, registry) -> None:
+        """Register every level's counters with a StatsRegistry."""
+        for cache in (*self.l1, *self.l2, self.llc):
+            cache.register_stats(registry)
+
     def access(self, core: int, addr: int, is_write: bool) -> HierarchyResult:
         """Look up ``addr``; fill on miss; report LLC miss + writebacks."""
         cfg = self.config

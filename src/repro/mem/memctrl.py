@@ -35,6 +35,29 @@ class MemoryController:
         self.dram = DRAM(config)
         self.traffic = TrafficStats()
 
+    def register_stats(self, registry) -> None:
+        """Register the traffic split and the DRAM device counters, plus
+        the conservation law tying them together: every request the
+        controller classified must have reached exactly one DRAM bank."""
+        registry.register("mc.traffic", self.traffic)
+        self.dram.register_stats(registry)
+        registry.add_equality(
+            "dram-read-conservation",
+            "dram.reads", lambda: self.dram.stats.reads,
+            "traffic data+metadata reads",
+            lambda: self.traffic.data_reads + self.traffic.metadata_reads)
+        registry.add_equality(
+            "dram-write-conservation",
+            "dram.writes", lambda: self.dram.stats.writes,
+            "traffic data+metadata writes",
+            lambda: self.traffic.data_writes + self.traffic.metadata_writes)
+        registry.add_equality(
+            "dram-row-accounting",
+            "row hits+misses",
+            lambda: self.dram.stats.row_hits + self.dram.stats.row_misses,
+            "dram reads+writes",
+            lambda: self.dram.stats.reads + self.dram.stats.writes)
+
     def read(self, addr: int, now: float) -> float:
         if is_metadata(addr):
             self.traffic.metadata_reads += 1

@@ -31,6 +31,9 @@ class TLB:
         self.stats = Counter()
         self.on_evict = on_evict
 
+    def register_stats(self, registry, name: str = "tlb") -> None:
+        registry.register(name, self.stats)
+
     def _set_of(self, asid: int, vpn: int) -> OrderedDict:
         return self._sets[(vpn ^ (asid * 0x9E37)) % self.n_sets]
 

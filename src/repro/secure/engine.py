@@ -60,6 +60,65 @@ class SecureMemoryEngine(ABC):
                      for_write: bool) -> float:
         """Fetch + verify the counter block of ``pfn``; returns latency."""
 
+    # -- statistics registration ---------------------------------------------------
+
+    def register_stats(self, registry) -> None:
+        """Register every engine-side counter plus the conservation laws
+        that tie the engine's own attribution to the memory controller's
+        ground truth.  Subclasses extend this with their structures."""
+        registry.register("engine", self.stats)
+        self.mc.register_stats(registry)
+        for cache in (self.counter_cache, self.mac_cache, self.tree_cache):
+            cache.register_stats(registry)
+        registry.register_custom(
+            "engine.domain_path",
+            reset=self._reset_domain_path,
+            values=lambda: {
+                f"domain{d}.{k}": rec[i]
+                for d, rec in sorted(self.domain_path.items())
+                for i, k in enumerate(("verifications", "nodes_visited"))})
+        s, t = self.stats, self.mc.traffic
+        registry.add_equality(
+            "engine-data-read-attribution",
+            "engine.dram_data_reads", lambda: s.dram_data_reads,
+            "mc.traffic.data_reads", lambda: t.data_reads)
+        registry.add_equality(
+            "engine-data-write-attribution",
+            "engine.dram_data_writes", lambda: s.dram_data_writes,
+            "mc.traffic.data_writes", lambda: t.data_writes)
+        registry.add_equality(
+            "engine-metadata-write-attribution",
+            "engine.dram_metadata_writes", lambda: s.dram_metadata_writes,
+            "mc.traffic.metadata_writes", lambda: t.metadata_writes)
+        # Page-table walks read metadata through the controller without
+        # the engine seeing them; the simulator tightens this bound to
+        # an equality once it registers its walk counter.
+        registry.add_bound(
+            "engine-metadata-read-attribution",
+            "engine.dram_metadata_reads", lambda: s.dram_metadata_reads,
+            "mc.traffic.metadata_reads", lambda: t.metadata_reads)
+        registry.add_equality(
+            "tree-path-accounting",
+            "tree_nodes_visited", lambda: s.tree_nodes_visited,
+            "verifications + tree_node_dram_reads",
+            lambda: s.verifications + s.tree_node_dram_reads)
+        registry.add_equality(
+            "mac-accounting",
+            "mac hits+misses", lambda: s.mac_hits + s.mac_misses,
+            "data accesses + absorbed writebacks",
+            lambda: s.data_reads + s.data_writes + s.writebacks_absorbed)
+        registry.add_equality(
+            "domain-path-accounting",
+            "sum of per-domain (verifications, nodes)",
+            lambda: (sum(r[0] for r in self.domain_path.values()),
+                     sum(r[1] for r in self.domain_path.values())),
+            "engine (verifications, tree_nodes_visited)",
+            lambda: (s.verifications, s.tree_nodes_visited))
+
+    def _reset_domain_path(self) -> None:
+        for rec in self.domain_path.values():
+            rec[0] = rec[1] = 0
+
     # -- shared low-level helpers ----------------------------------------------------
 
     def _mread(self, addr: int, now: float) -> float:
@@ -130,6 +189,7 @@ class SecureMemoryEngine(ABC):
     def handle_writeback(self, domain: int, pfn: int, block_in_page: int,
                          now: float) -> None:
         """Dirty LLC eviction: counter bump, MAC refresh, posted write."""
+        self.stats.writebacks_absorbed += 1
         self._verify_path(domain, pfn, now, for_write=True)
         self._mac_access(pfn, block_in_page, now, dirty=True)
         self._mwrite(self.data_addr(pfn, block_in_page), now)

@@ -104,6 +104,10 @@ class VaultEngine(BaselineEngine):
         self._node_writes: dict[int, int] = {}
         self.upper_overflows = 0
 
+    def register_stats(self, registry) -> None:
+        super().register_stats(registry)
+        registry.register("engine", self, ("upper_overflows",))
+
     def handle_writeback(self, domain: int, pfn: int, block_in_page: int,
                          now: float) -> None:
         super().handle_writeback(domain, pfn, block_in_page, now)

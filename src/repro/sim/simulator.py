@@ -15,6 +15,7 @@ back into the engine as write-backs (counter bump + MAC + posted write).
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,8 +28,18 @@ from repro.osmodel.tlb import TLB
 from repro.secure.engine import SecureMemoryEngine
 from repro.sim.config import BLOCKS_PER_PAGE, MachineConfig
 from repro.sim.cpu import CoreModel
+from repro.sim.registry import StatsRegistry
 from repro.sim.stats import CoreStats, RunResult
 from repro.workloads.generator import WorkloadSpec
+
+#: Set to a non-empty value other than "0" to verify the conservation
+#: invariants after every run (the benchmark harness turns this on so
+#: accounting regressions fail loudly instead of skewing figures).
+CHECK_INVARIANTS_ENV = "REPRO_CHECK_INVARIANTS"
+
+
+def _env_check_invariants() -> bool:
+    return os.environ.get(CHECK_INVARIANTS_ENV, "0") not in ("", "0")
 
 
 @dataclass
@@ -73,11 +84,53 @@ class Simulator:
         self.tlb = TLB(config.tlb_entries, config.tlb_assoc,
                        on_evict=on_evict)
         self._rng = np.random.default_rng(seed + 17)
+        #: Page-table-walk blocks read straight from the controller (the
+        #: engine never sees them); needed to balance the metadata ledger.
+        self.ptw_dram_reads = 0
+        self._states: list[_CoreState] = []
+        self.registry = self._build_registry()
+
+    def _build_registry(self) -> StatsRegistry:
+        """Register every stat-bearing component of this machine plus
+        the simulator-scope conservation laws."""
+        reg = StatsRegistry()
+        self.hierarchy.register_stats(reg)
+        self.tlb.register_stats(reg)
+        self.engine.register_stats(reg)
+        reg.register("sim", self, ("ptw_dram_reads",))
+        reg.register_provider(
+            "cores",
+            lambda: [(f"core{i}", st.stats, None)
+                     for i, st in enumerate(self._states)])
+        # Metadata reads the engine attributed, plus the walks the
+        # simulator issued directly, must cover the controller's count.
+        reg.add_equality(
+            "metadata-read-attribution",
+            "engine metadata reads + page-walk reads",
+            lambda: (self.engine.stats.dram_metadata_reads
+                     + self.ptw_dram_reads),
+            "mc.traffic.metadata_reads",
+            lambda: self.engine.mc.traffic.metadata_reads)
+        # Every dirty LLC eviction must reach the engine exactly once.
+        reg.add_equality(
+            "llc-writeback-conservation",
+            "llc.writebacks", lambda: self.hierarchy.llc.writebacks,
+            "engine.writebacks_absorbed",
+            lambda: self.engine.stats.writebacks_absorbed)
+        # LLC data misses are what the engine serves as data accesses.
+        reg.add_equality(
+            "llc-miss-to-engine",
+            "sum of per-core llc_misses",
+            lambda: sum(st.stats.llc_misses for st in self._states),
+            "engine data_reads + data_writes",
+            lambda: (self.engine.stats.data_reads
+                     + self.engine.stats.data_writes))
+        return reg
 
     # -- helpers -------------------------------------------------------------------
 
-    def _page_walk(self, core: int, page_table: PageTable, vpn: int,
-                   now: float) -> float:
+    def _page_walk(self, core: int, domain: int, page_table: PageTable,
+                   vpn: int, now: float) -> float:
         """Hardware page-table walk through the shared cache hierarchy."""
         lat = 0.0
         walk = page_table.walk(vpn)
@@ -86,6 +139,14 @@ class Simulator:
             lat += res.latency
             if res.llc_miss:
                 lat += self.engine.mc.read(addr, now + lat)
+                self.ptw_dram_reads += 1
+            if res.writeback_addrs:
+                # A PTE fill can evict dirty data blocks; they flow back
+                # into the engine like any other LLC write-back (found by
+                # the llc-writeback-conservation invariant: these were
+                # silently dropped before).
+                self._handle_writebacks(res.writeback_addrs, domain,
+                                        now + lat)
         # The extended PTE carries the leaf ID (Fig. 9b), so a walk
         # refills the LMM cache for free -- no separate LMM fetch needed.
         lmm = getattr(self.engine, "lmm_cache", None)
@@ -160,7 +221,7 @@ class Simulator:
             st.clock += self._alloc_page(st, slot, st.clock)
             pfn = st.live[slot]
         elif self.tlb.lookup(st.domain, st.vpn_base + slot) is None:
-            st.clock += self._page_walk(ci, st.page_table,
+            st.clock += self._page_walk(ci, st.domain, st.page_table,
                                         st.vpn_base + slot, st.clock)
             self.tlb.insert(st.domain, st.vpn_base + slot, pfn)
 
@@ -190,21 +251,29 @@ class Simulator:
                 heapq.heappush(heap, (st.clock, ci))
 
     def _reset_measurement(self, states: list[_CoreState]) -> None:
-        """Zero accumulated statistics at the warmup boundary."""
-        from repro.mem.memctrl import TrafficStats
-        from repro.sim.stats import EngineStats
-        self.engine.stats = EngineStats()
-        self.engine.mc.traffic = TrafficStats()
-        for rec in self.engine.domain_path.values():
-            rec[0] = rec[1] = 0
+        """Zero accumulated statistics at the warmup boundary.
+
+        Every counter goes through the registry, so warmup traffic can
+        never leak into a reported rate just because some component was
+        forgotten here: components register their counters, the registry
+        resets them all.  Warm *state* (cache contents, open DRAM rows,
+        TLB entries) is deliberately preserved -- that is the point of
+        the warmup phase.
+        """
+        self.registry.reset_all()
         for st in states:
-            st.stats = CoreStats()
             st.warmup_clock = st.clock
 
-    def run(self, workload: WorkloadSpec, warmup: int = 0) -> RunResult:
+    def run(self, workload: WorkloadSpec, warmup: int = 0,
+            check_invariants: bool | None = None) -> RunResult:
         """Simulate; the first ``warmup`` accesses per core are excluded
         from all reported statistics (the paper skips 2-5B instructions
-        before its 1B-instruction measurement window)."""
+        before its 1B-instruction measurement window).
+
+        ``check_invariants`` runs the registry's conservation laws after
+        the run (``None`` defers to the REPRO_CHECK_INVARIANTS env var);
+        a violation raises :class:`repro.sim.registry.InvariantViolation`.
+        """
         cfg = self.config
         if len(workload.traces) > cfg.n_cores:
             raise ValueError(
@@ -226,6 +295,7 @@ class Simulator:
             st.vpn_base = i << 24
             st.warmup_clock = 0.0
             states.append(st)
+        self._states = states
 
         if warmup:
             self._drain(states, warmup)
@@ -237,17 +307,26 @@ class Simulator:
             st.stats.cycles = st.clock - st.warmup_clock
             result.cores.append(st.stats)
         result.engine = self.engine.stats
-        for st in states:
+        for i, st in enumerate(states):
             rec = self.engine.domain_path.get(st.domain, [0, 0])
-            result.per_core_path[st.trace.benchmark] = (rec[0], rec[1])
+            result.per_core_path[i] = (rec[0], rec[1])
+            result.core_benchmarks.append(st.trace.benchmark)
+            result.core_domains.append(st.domain)
+        result.registry_snapshot = self.registry.snapshot()
+        if check_invariants is None:
+            check_invariants = _env_check_invariants()
+        if check_invariants:
+            self.registry.check_invariants()
         return result
 
 
 def run_workload(config: MachineConfig, engine_cls, workload: WorkloadSpec,
                  seed: int = 123, warmup: int = 0,
                  frame_policy: str = "sequential",
+                 check_invariants: bool | None = None,
                  **engine_kwargs) -> RunResult:
     """Convenience: build an engine, run one workload, return the result."""
     engine = engine_cls(config, seed=seed, **engine_kwargs)
     sim = Simulator(config, engine, seed=seed, frame_policy=frame_policy)
-    return sim.run(workload, warmup=warmup)
+    return sim.run(workload, warmup=warmup,
+                   check_invariants=check_invariants)

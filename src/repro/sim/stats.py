@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 
@@ -60,6 +61,9 @@ class EngineStats:
     hot_migrations: int = 0
     hot_demotions: int = 0
     conversions: int = 0     # Invert slot-to-parent conversions
+    #: Dirty LLC evictions handled by the engine; must equal the LLC's
+    #: own write-back count (the ``llc-writeback-conservation`` law).
+    writebacks_absorbed: int = 0
 
     @property
     def avg_path_length(self) -> float:
@@ -106,17 +110,51 @@ class RunResult:
     workload: str
     cores: list[CoreStats] = field(default_factory=list)
     engine: EngineStats = field(default_factory=EngineStats)
-    #: Per-benchmark verification path-length accounting, keyed by the
-    #: benchmark name running on each core (Fig. 16 is reported per
-    #: benchmark, averaged across the mixes containing it).
-    per_core_path: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: Verification path-length accounting keyed by *core index*.  Each
+    #: core reports its domain's (verifications, nodes_visited) record;
+    #: cores sharing a domain therefore see the same record -- use
+    #: :meth:`path_by_benchmark` for per-benchmark aggregation that
+    #: counts each domain once.
+    per_core_path: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: Benchmark name and IV-domain id per core, parallel to ``cores``.
+    core_benchmarks: list[str] = field(default_factory=list)
+    core_domains: list[int] = field(default_factory=list)
+    #: Full counter snapshot from the StatsRegistry at run end (the
+    #: measurement window only when the run had a warmup phase).
+    registry_snapshot: dict = field(default_factory=dict, repr=False)
 
     @property
     def ipcs(self) -> list[float]:
         return [c.ipc for c in self.cores]
 
+    def path_by_benchmark(self) -> dict[str, tuple[int, int]]:
+        """Aggregate (verifications, nodes_visited) per benchmark.
+
+        The engine accounts paths per IV domain, so a domain shared by
+        several cores (threads of one process) contributes its record
+        exactly once per benchmark -- the naive per-core sum would
+        double-report it, and keying by benchmark name alone would
+        silently drop duplicates (Fig. 16 averages would skew).
+        """
+        agg: dict[str, list[int]] = {}
+        counted: dict[str, set[int]] = {}
+        for core, bench in enumerate(self.core_benchmarks):
+            domain = self.core_domains[core]
+            if domain in counted.setdefault(bench, set()):
+                continue
+            counted[bench].add(domain)
+            verifs, visited = self.per_core_path.get(core, (0, 0))
+            rec = agg.setdefault(bench, [0, 0])
+            rec[0] += verifs
+            rec[1] += visited
+        return {b: (rec[0], rec[1]) for b, rec in agg.items()}
+
     def weighted_ipc(self, baseline: "RunResult") -> float:
         """Weighted speedup versus a baseline run (Fig. 15 metric)."""
+        if len(self.cores) != len(baseline.cores):
+            raise ValueError(
+                f"core count mismatch: {len(self.cores)} cores vs "
+                f"{len(baseline.cores)} in the baseline run")
         ratios = [
             mine.ipc / ref.ipc
             for mine, ref in zip(self.cores, baseline.cores)
@@ -126,11 +164,13 @@ class RunResult:
 
 
 def geomean(values: list[float]) -> float:
-    """Geometric mean used by the paper for per-class summaries."""
+    """Geometric mean used by the paper for per-class summaries.
+
+    Computed in log space: a running product over/underflows once the
+    list is long enough (e.g. hundreds of DRAM-access counts), which
+    silently turned the mean into ``inf`` or ``0``.
+    """
     vals = [v for v in values if v > 0]
     if not vals:
         return 0.0
-    product = 1.0
-    for v in vals:
-        product *= v
-    return product ** (1.0 / len(vals))
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

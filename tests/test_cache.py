@@ -110,3 +110,50 @@ class TestLocking:
         assert dirty == 1
         assert c.contains(1)
         assert not c.contains(2)
+
+    def test_flush_retains_locked_dirty_block(self):
+        """A locked-dirty block survives the flush with its dirty bit and
+        is not counted in the write-back tally (it was not written back)."""
+        c = make()
+        c.lock(1)
+        c.lookup(1, is_write=True)          # locked AND dirty
+        c.fill(2, dirty=True)               # unlocked dirty: flushed
+        assert c.flush() == 1               # only the unlocked one
+        assert c.contains(1)
+        assert c._sets[c.set_index(1)][1][0]   # still dirty
+        assert c.flush() == 0               # stays resident, not recounted
+        assert c.contains(1)
+
+    def test_fill_existing_entry_in_fully_locked_set_merges(self):
+        """A fill that hits an already-resident block must merge dirty and
+        locked bits even when every way of the set is locked."""
+        c = make(size=2 * 64, assoc=2)
+        c.lock(0)
+        c.lock(c.n_sets)
+        assert c.fill(0, dirty=True) is None
+        entry = c._sets[c.set_index(0)][0]
+        assert entry[0] and entry[1]        # dirty merged, lock kept
+        assert c.contains(0) and c.contains(c.n_sets)
+
+    def test_fill_on_fully_locked_set_counts_no_eviction(self):
+        c = make(size=2 * 64, assoc=2)
+        c.lock(0)
+        c.lock(c.n_sets)
+        before = (c.evictions, c.writebacks)
+        assert c.fill(2 * c.n_sets, dirty=True) is None
+        assert (c.evictions, c.writebacks) == before
+        assert len(c) == 2
+
+    def test_lock_upgrade_of_existing_dirty_entry(self):
+        """lock() on a block that is already resident and dirty must pin
+        it without clearing the dirty bit."""
+        c = make(size=2 * 64, assoc=2)
+        c.fill(5 * c.n_sets, dirty=True)
+        c.lock(5 * c.n_sets)
+        entry = c._sets[c.set_index(5 * c.n_sets)][5 * c.n_sets]
+        assert entry == [True, True]
+        for a in range(1, 10):              # eviction pressure
+            c.fill(5 * c.n_sets + a * c.n_sets)
+        assert c.contains(5 * c.n_sets)     # never chosen as victim
+        assert c.flush() == 0               # and flush keeps it, uncounted
+        assert c.contains(5 * c.n_sets)

@@ -22,6 +22,21 @@ class TestCli:
         out = capsys.readouterr().out
         assert "baseline" in out
 
+    def test_run_check_invariants_and_dump_stats(self, capsys, tmp_path):
+        import json
+        out_path = tmp_path / "stats.json"
+        rc = main(["run", "S-4", "--scheme", "baseline",
+                   "--accesses", "1500", "--check-invariants",
+                   "--dump-stats", str(out_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "invariants OK" in out
+        payload = json.loads(out_path.read_text())
+        assert "baseline" in payload
+        snap = payload["baseline"]
+        assert snap["dram"]["reads"] > 0
+        assert {"llc", "tlb", "engine", "mc.traffic"} <= set(snap)
+
     def test_experiment_tab1(self, capsys):
         assert main(["experiment", "tab1"]) == 0
         assert "TreeLing" in capsys.readouterr().out

@@ -86,3 +86,19 @@ class TestStats:
         assert geomean([1.0, 4.0]) == pytest.approx(2.0)
         assert geomean([]) == 0.0
         assert geomean([2.0, 0.0]) == pytest.approx(2.0)  # zeros skipped
+
+    def test_geomean_no_overflow_on_long_lists(self):
+        # a running product would reach inf after two items here
+        assert geomean([1e200] * 50) == pytest.approx(1e200, rel=1e-9)
+        # ... and underflow to 0.0 here
+        assert geomean([1e-200] * 50) == pytest.approx(1e-200, rel=1e-9)
+        big = [1e12] * 400   # realistic: per-mix DRAM-access counts
+        assert geomean(big) == pytest.approx(1e12, rel=1e-9)
+
+    def test_weighted_ipc_rejects_core_count_mismatch(self):
+        a = RunResult("x", "w")
+        b = RunResult("y", "w")
+        a.cores = [CoreStats(100, 100.0), CoreStats(100, 200.0)]
+        b.cores = [CoreStats(100, 200.0)]
+        with pytest.raises(ValueError, match="core count mismatch"):
+            a.weighted_ipc(b)

@@ -50,9 +50,34 @@ class TestSimulatorBasics:
         r = run_workload(tiny, IvLeagueProEngine, wl)
         assert r.engine.page_frees > 0
 
-    def test_per_core_path_keyed_by_benchmark(self, tiny):
+    def test_per_core_path_keyed_by_core_index(self, tiny):
         r = run_workload(tiny, BaselineEngine, small_workload())
-        assert set(r.per_core_path) == {"gcc", "x264"}
+        assert set(r.per_core_path) == {0, 1}
+        assert r.core_benchmarks == ["gcc", "x264"]
+        assert r.path_by_benchmark().keys() == {"gcc", "x264"}
+
+    def test_duplicate_benchmarks_not_overwritten(self, tiny):
+        # two cores running the same benchmark in separate domains used
+        # to collapse into one dict entry; they must aggregate
+        wl = build_workload("t", ["gcc", "gcc"], 1500, seed=1, scale=0.03)
+        r = run_workload(tiny, BaselineEngine, wl)
+        assert len(r.per_core_path) == 2
+        verifs = r.path_by_benchmark()["gcc"][0]
+        assert verifs == sum(v for v, _ in r.per_core_path.values())
+        assert verifs == r.engine.verifications
+
+    def test_shared_domain_counted_once(self, tiny4):
+        from repro.workloads.generator import threaded_workload
+        wl = threaded_workload("tw", ["gcc", "x264"], 800,
+                               threads_per_process=2, scale=0.03, seed=3)
+        r = run_workload(tiny4, BaselineEngine, wl)
+        # both threads of a process report the same domain record...
+        assert r.per_core_path[0] == r.per_core_path[1]
+        # ...but the per-benchmark aggregate counts the domain once
+        agg = r.path_by_benchmark()
+        assert agg["gcc"] == r.per_core_path[0]
+        total = sum(v for v, _ in agg.values())
+        assert total == r.engine.verifications
 
     def test_weighted_ipc_identity(self, tiny):
         r = run_workload(tiny, BaselineEngine, small_workload())
