@@ -23,7 +23,11 @@ from repro.secure.vault import VaultEngine
 from repro.secure.static_partition import StaticPartitionEngine
 from repro.sim.config import (MachineConfig, paper_config, scaled_config,
                               tiny_config)
+from repro.sim.hist import HistogramSet, LatencyHistogram
+from repro.sim.provenance import config_hash, run_manifest
 from repro.sim.registry import InvariantViolation, StatsRegistry
+from repro.sim.trace import (NULL_TRACER, EventTracer, NullTracer,
+                             validate_events, write_chrome_trace)
 from repro.sim.simulator import Simulator, run_workload
 from repro.sim.stats import RunResult, geomean
 from repro.workloads.generator import (WorkloadSpec, build_workload,
@@ -49,12 +53,14 @@ EXTRA_ENGINES = {
 __version__ = "1.0.0"
 
 __all__ = [
-    "ALL_MIXES", "BaselineEngine", "ENGINES", "FunctionalSecureMemory",
-    "IvLeagueBasicEngine", "IvLeagueForest", "SgxCounterTreeEngine",
-    "IvLeagueInvertEngine", "IvLeagueProEngine", "MIXES", "MachineConfig",
-    "RunResult", "SecureMemoryEngine", "Simulator", "StaticPartitionEngine",
-    "WorkloadSpec", "build_mix", "build_workload", "generate_trace",
-    "VaultEngine", "EXTRA_ENGINES", "InvariantViolation", "StatsRegistry",
-    "geomean", "paper_config", "run_workload", "scaled_config",
-    "tiny_config",
+    "ALL_MIXES", "BaselineEngine", "ENGINES", "EventTracer",
+    "FunctionalSecureMemory", "HistogramSet", "IvLeagueBasicEngine",
+    "IvLeagueForest", "LatencyHistogram", "NULL_TRACER", "NullTracer",
+    "SgxCounterTreeEngine", "IvLeagueInvertEngine", "IvLeagueProEngine",
+    "MIXES", "MachineConfig", "RunResult", "SecureMemoryEngine",
+    "Simulator", "StaticPartitionEngine", "WorkloadSpec", "build_mix",
+    "build_workload", "config_hash", "generate_trace", "VaultEngine",
+    "EXTRA_ENGINES", "InvariantViolation", "StatsRegistry", "geomean",
+    "paper_config", "run_manifest", "run_workload", "scaled_config",
+    "tiny_config", "validate_events", "write_chrome_trace",
 ]

@@ -15,17 +15,48 @@ import argparse
 import sys
 
 
+#: Histogram groups the --profile table walks, in display order.
+_PROFILE_GROUPS = ("hist.sim", "hist.engine", "hist.mc")
+
+
+def _print_profile(results) -> None:
+    """p50/p95/p99 per request class per scheme, from the registry
+    snapshots (so the table obeys the measurement window)."""
+    from repro.sim.hist import HistogramSet
+    print(f"\n{'scheme':18s} {'class':22s} {'count':>8s} "
+          f"{'mean':>8s} {'p50':>7s} {'p95':>7s} {'p99':>7s}")
+    for scheme, r in results.items():
+        for group in _PROFILE_GROUPS:
+            values = r.registry_snapshot.get(group, {})
+            prefix = group.split(".", 1)[1]
+            for name, h in sorted(HistogramSet.from_values(values).items()):
+                if h.count == 0:
+                    continue
+                print(f"{scheme:18s} {prefix + ':' + name:22s} "
+                      f"{h.count:8d} {h.mean:8.1f} "
+                      f"{h.percentile(50):7.0f} {h.percentile(95):7.0f} "
+                      f"{h.percentile(99):7.0f}")
+
+
 def _cmd_run(args) -> int:
     from repro import ENGINES, build_mix, run_workload, scaled_config
+    from repro.sim.provenance import run_manifest
     cfg = scaled_config(n_cores=4)
     workload = build_mix(args.mix, n_accesses=args.accesses)
     schemes = [args.scheme] if args.scheme != "all" else list(ENGINES)
+    tracers = {}
     results = {}
-    for scheme in schemes:
+    for pid, scheme in enumerate(schemes):
+        tracer = None
+        if args.trace:
+            from repro.sim.trace import EventTracer
+            tracer = EventTracer(limit=args.trace_limit, pid=pid)
+            tracers[scheme] = tracer
         results[scheme] = run_workload(
             cfg, ENGINES[scheme], workload, warmup=args.accesses // 3,
-            frame_policy=args.frames,
-            check_invariants=args.check_invariants or None)
+            frame_policy=args.frames, seed=args.seed,
+            check_invariants=args.check_invariants or None,
+            tracer=tracer)
     base = results.get("baseline")
     print(f"{'scheme':18s} {'IPC/core':>24s} {'path':>6s} {'DRAM':>9s}")
     for scheme, r in results.items():
@@ -37,9 +68,26 @@ def _cmd_run(args) -> int:
                  if base and scheme != "baseline" else ""))
     if args.check_invariants:
         print(f"invariants OK for {len(results)} scheme(s)")
+    if args.profile:
+        _print_profile(results)
+    manifest = run_manifest(
+        config=cfg, seed=args.seed, mix=args.mix, accesses=args.accesses,
+        warmup=args.accesses // 3, frames=args.frames, schemes=schemes)
+    if args.trace:
+        from repro.sim.trace import write_chrome_trace
+        write_chrome_trace(args.trace, tracers, manifest)
+        dropped = sum(t.dropped for t in tracers.values())
+        print(f"wrote trace ({sum(t.emitted for t in tracers.values())} "
+              f"events, {dropped} dropped) to {args.trace}")
     if args.dump_stats:
         import json
-        payload = {s: r.registry_snapshot for s, r in results.items()}
+        import os
+        payload = {
+            "manifest": manifest,
+            "schemes": {s: r.registry_snapshot for s, r in results.items()},
+        }
+        parent = os.path.dirname(os.path.abspath(args.dump_stats))
+        os.makedirs(parent, exist_ok=True)
         with open(args.dump_stats, "w") as f:
             json.dump(payload, f, indent=2, sort_keys=True)
         print(f"wrote measurement-window stats to {args.dump_stats}")
@@ -123,7 +171,23 @@ def build_parser() -> argparse.ArgumentParser:
                           "after each run (exits non-zero on violation)")
     run.add_argument("--dump-stats", default=None, metavar="PATH",
                      help="write the full per-scheme counter snapshot "
-                          "(measurement window only) as JSON")
+                          "(measurement window only) as JSON, with a "
+                          "run-provenance manifest")
+    run.add_argument("--seed", type=int, default=123,
+                     help="workload/placement seed (recorded in the "
+                          "run manifest)")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="record a Chrome/Perfetto trace of every "
+                          "memory-request lifecycle to PATH (one trace "
+                          "process per scheme)")
+    run.add_argument("--trace-limit", type=int, default=200_000,
+                     metavar="N",
+                     help="ring-buffer capacity per scheme; oldest "
+                          "events are dropped beyond this (default "
+                          "200000)")
+    run.add_argument("--profile", action="store_true",
+                     help="print p50/p95/p99 latency per request class "
+                          "per scheme from the log-bucketed histograms")
     run.set_defaults(func=_cmd_run)
 
     atk = sub.add_parser("attack", help="MetaLeak demonstration")

@@ -101,6 +101,9 @@ class IvLeagueBasicEngine(SecureMemoryEngine):
 
     def _on_treeling_attached(self, domain: int, treeling: int) -> None:
         self._domain_of_treeling[treeling] = domain
+        if self.tracer.enabled:
+            self.tracer.instant("domain", "treeling_attach",
+                                domain=domain, treeling=treeling)
 
     def _chain_of(self, domain: int) -> ChainedNFL:
         chain = self._chains.get(domain)
@@ -112,9 +115,13 @@ class IvLeagueBasicEngine(SecureMemoryEngine):
                     now: float) -> float:
         """Charge NFLB lookups for the NFL blocks an operation touched."""
         nflb = self._nflb[domain]
+        tracing = self.tracer.enabled
         lat = 0.0
         for addr in touched:
             hit, evicted = nflb.access(addr)
+            if tracing:
+                self.tracer.instant("nfl", "hit" if hit else "miss",
+                                    ts=now + lat, domain=domain, addr=addr)
             if hit:
                 self.stats.nflb_hits += 1
             else:
@@ -203,8 +210,12 @@ class IvLeagueBasicEngine(SecureMemoryEngine):
         cached = self.lmm_cache.lookup(pfn)
         if cached is not None:
             self.stats.lmm_hits += 1
+            if self.tracer.enabled:
+                self.tracer.instant("engine", "lmm_hit", ts=now, pfn=pfn)
             return cached, float(iv.lmm_hit_latency)
         self.stats.lmm_misses += 1
+        if self.tracer.enabled:
+            self.tracer.instant("engine", "lmm_miss", ts=now, pfn=pfn)
         lat = self._mread(self.leafmap.pte_block_addr(pfn), now)
         slot_id = self.leafmap.get(pfn)
         self.lmm_cache.insert(pfn, slot_id)
@@ -238,11 +249,16 @@ class IvLeagueBasicEngine(SecureMemoryEngine):
             # Late write-back of a block whose page was already freed: the
             # slot was reclaimed on free, so there is nothing to verify.
             return 0.0
+        tracing = self.tracer.enabled
         ctr_addr = spaces.tag(spaces.COUNTER, pfn)
         if self.counter_cache.lookup(ctr_addr, is_write=for_write):
             self.stats.counter_hits += 1
+            if tracing:
+                self.tracer.instant("tree", "counter_hit", ts=now, pfn=pfn)
             return float(sec.counter_cache.hit_latency)
         self.stats.counter_misses += 1
+        if tracing:
+            self.tracer.instant("tree", "counter_miss", ts=now, pfn=pfn)
         clock = now
         slot_id, lmm_lat = self._lmm_lookup(pfn, clock)
         clock += lmm_lat
@@ -258,6 +274,9 @@ class IvLeagueBasicEngine(SecureMemoryEngine):
                 break  # trusted on-chip copy terminates the walk
             visited += 1
             self.stats.tree_node_dram_reads += 1
+            if tracing:
+                self.tracer.instant("tree", "node", ts=clock, level=level,
+                                    index=index, treeling=ref.treeling)
             clock += self._mread(addr, clock) + sec.hash_latency
             self._fill(self.tree_cache, addr, clock, dirty=for_write)
             level, index = level + 1, index // geo.arity

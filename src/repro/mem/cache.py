@@ -19,6 +19,7 @@ from typing import Iterator, Optional
 
 from repro.sim.config import CacheConfig
 from repro.sim.stats import Counter
+from repro.sim.trace import NULL_TRACER
 
 
 @dataclass
@@ -31,6 +32,10 @@ class Eviction:
 
 class Cache:
     """LRU set-associative cache keyed by integer block address."""
+
+    #: Class-level default so the hot path never None-checks; the
+    #: simulator installs a real tracer instance-wide when tracing is on.
+    tracer = NULL_TRACER
 
     def __init__(self, config: CacheConfig, name: str = "cache") -> None:
         if config.assoc <= 0:
@@ -96,6 +101,9 @@ class Cache:
             self.evictions += 1
             if vdirty:
                 self.writebacks += 1
+            if self.tracer.enabled:
+                self.tracer.instant("cache", "evict", cache=self.name,
+                                    addr=victim, dirty=vdirty)
             victim = Eviction(victim, vdirty)
         s[addr] = [dirty, locked]
         return victim

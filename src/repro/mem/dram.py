@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.mem.spaces import block_of, space_of
 from repro.sim.config import DRAMConfig
+from repro.sim.trace import NULL_TRACER
 
 
 @dataclass
@@ -39,6 +40,8 @@ class DRAMStats:
 
 class DRAM:
     """Channel/rank/bank DRAM with open-row policy."""
+
+    tracer = NULL_TRACER
 
     def __init__(self, config: DRAMConfig) -> None:
         self.config = config
@@ -95,6 +98,11 @@ class DRAM:
         total = finish - now
         self.stats.reads += 1
         self.stats.total_read_latency += int(total)
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "dram", "read", ts=now, dur=total, bank=bank, row=row,
+                row_hit=latency == cfg.row_hit_latency,
+                space=space_of(addr))
         return total
 
     def write(self, addr: int, now: float) -> None:
@@ -111,3 +119,7 @@ class DRAM:
             self._open_row[bank] = row
         self._busy_until[bank] = start + occupancy
         self.stats.writes += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "dram", "write", ts=now, bank=bank, row=row,
+                row_hit=occupancy == cfg.t_burst, space=space_of(addr))

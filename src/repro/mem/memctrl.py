@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from repro.mem.dram import DRAM
 from repro.mem.spaces import is_metadata
 from repro.sim.config import DRAMConfig
+from repro.sim.hist import HistogramSet
 
 
 @dataclass
@@ -34,12 +35,22 @@ class MemoryController:
     def __init__(self, config: DRAMConfig) -> None:
         self.dram = DRAM(config)
         self.traffic = TrafficStats()
+        # Read-latency distributions, split the same way the traffic
+        # counters are: metadata reads sit on the verification critical
+        # path, so their tail is the interesting one.
+        self.hists = HistogramSet()
+        self._h_data = self.hists.get("read.data")
+        self._h_meta = self.hists.get("read.metadata")
+
+    def set_tracer(self, tracer) -> None:
+        self.dram.tracer = tracer
 
     def register_stats(self, registry) -> None:
         """Register the traffic split and the DRAM device counters, plus
         the conservation law tying them together: every request the
         controller classified must have reached exactly one DRAM bank."""
         registry.register("mc.traffic", self.traffic)
+        self.hists.register(registry, "hist.mc")
         self.dram.register_stats(registry)
         registry.add_equality(
             "dram-read-conservation",
@@ -59,11 +70,14 @@ class MemoryController:
             lambda: self.dram.stats.reads + self.dram.stats.writes)
 
     def read(self, addr: int, now: float) -> float:
-        if is_metadata(addr):
+        meta = is_metadata(addr)
+        if meta:
             self.traffic.metadata_reads += 1
         else:
             self.traffic.data_reads += 1
-        return self.dram.read(addr, now)
+        lat = self.dram.read(addr, now)
+        (self._h_meta if meta else self._h_data).record(lat)
+        return lat
 
     def write(self, addr: int, now: float) -> None:
         if is_metadata(addr):

@@ -43,6 +43,10 @@ class MirageCache(Cache):
         self._rng = np.random.default_rng(seed)
         self._key0 = int(self._rng.integers(1, 2**63))
         self._key1 = int(self._rng.integers(1, 2**63))
+        # Power-of-two-choices placement balance (how often each skew
+        # won); the spread is a cheap health check on the keyed hashes.
+        self.skew0_fills = 0
+        self.skew1_fills = 0
 
     # Two candidate skews; an address lives in exactly one set, chosen at
     # fill time by load (power of two choices), remembered via lookup in
@@ -81,7 +85,12 @@ class MirageCache(Cache):
                 entry[1] = entry[1] or locked
                 return None
         # Power-of-two-choices placement into the emptier skew.
-        idx = c0 if len(self._sets[c0]) <= len(self._sets[c1]) else c1
+        if len(self._sets[c0]) <= len(self._sets[c1]):
+            idx = c0
+            self.skew0_fills += 1
+        else:
+            idx = c1
+            self.skew1_fills += 1
         s = self._sets[idx]
         victim = None
         if len(s) >= self.assoc:
@@ -95,9 +104,26 @@ class MirageCache(Cache):
             self.evictions += 1
             if vdirty:
                 self.writebacks += 1
+            if self.tracer.enabled:
+                self.tracer.instant("cache", "evict", cache=self.name,
+                                    addr=vaddr, dirty=vdirty)
             victim = Eviction(vaddr, vdirty)
         s[addr] = [dirty, locked]
         return victim
+
+    def register_stats(self, registry, name: str | None = None) -> None:
+        """PR 1 missed the MIRAGE-specific counters: register the skew
+        placement split on top of the base hit/miss/eviction set, and pin
+        it down with a conservation law (every eviction was caused by a
+        placement into some skew)."""
+        super().register_stats(registry, name)
+        name = name or self.name
+        registry.register(name, self, ("skew0_fills", "skew1_fills"))
+        registry.add_bound(
+            f"{name}-mirage-eviction-bound",
+            f"{name}.evictions", lambda: self.evictions,
+            f"{name} skew0+skew1 fills",
+            lambda: self.skew0_fills + self.skew1_fills)
 
     def invalidate(self, addr: int) -> bool:
         for idx in self._candidates(addr):

@@ -12,12 +12,15 @@ from collections import OrderedDict
 from typing import Callable, Optional
 
 from repro.sim.stats import Counter
+from repro.sim.trace import NULL_TRACER
 
 EvictHook = Callable[[int, int, int], None]  # (asid, vpn, pfn)
 
 
 class TLB:
     """LRU set-associative translation lookaside buffer."""
+
+    tracer = NULL_TRACER
 
     def __init__(self, entries: int, assoc: int = 4,
                  on_evict: Optional[EvictHook] = None) -> None:
@@ -42,6 +45,8 @@ class TLB:
         pfn = s.get((asid, vpn))
         if pfn is None:
             self.stats.misses += 1
+            if self.tracer.enabled:
+                self.tracer.instant("tlb", "miss", asid=asid, vpn=vpn)
             return None
         s.move_to_end((asid, vpn))
         self.stats.hits += 1
@@ -55,6 +60,9 @@ class TLB:
             return
         if len(s) >= self.assoc:
             (v_asid, v_vpn), v_pfn = s.popitem(last=False)
+            if self.tracer.enabled:
+                self.tracer.instant("tlb", "evict", asid=v_asid,
+                                    vpn=v_vpn, pfn=v_pfn)
             if self.on_evict is not None:
                 self.on_evict(v_asid, v_vpn, v_pfn)
         s[(asid, vpn)] = pfn

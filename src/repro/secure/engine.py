@@ -23,7 +23,9 @@ from repro.mem.memctrl import MemoryController
 from repro.mem.mirage import make_cache
 from repro.secure.bmt import TreeGeometry
 from repro.sim.config import BLOCKS_PER_PAGE, MachineConfig
+from repro.sim.hist import HistogramSet
 from repro.sim.stats import EngineStats
+from repro.sim.trace import NULL_TRACER
 
 #: Writes to one page between modelled minor-counter overflows
 #: (7-bit minors overflow after 128 writes to one block; page-level we
@@ -35,11 +37,19 @@ class SecureMemoryEngine(ABC):
     """Base class: owns DRAM, metadata caches and shared accounting."""
 
     name = "abstract"
+    tracer = NULL_TRACER
 
     def __init__(self, config: MachineConfig, seed: int = 11) -> None:
         self.config = config
         self.mc = MemoryController(config.dram)
         self.stats = EngineStats()
+        # Latency/path distributions for the profiling layer: total
+        # engine access latency, the serial metadata (verify) component,
+        # and tree nodes visited per verification.
+        self.hists = HistogramSet()
+        self._h_access = self.hists.get("access_latency")
+        self._h_verify = self.hists.get("verify_latency")
+        self._h_path = self.hists.get("path_length")
         sec = config.secure
         self.counter_cache = make_cache(sec.counter_cache, "ctr$",
                                         seed=seed * 3 + 1)
@@ -67,6 +77,7 @@ class SecureMemoryEngine(ABC):
         that tie the engine's own attribution to the memory controller's
         ground truth.  Subclasses extend this with their structures."""
         registry.register("engine", self.stats)
+        self.hists.register(registry, "hist.engine")
         self.mc.register_stats(registry)
         for cache in (self.counter_cache, self.mac_cache, self.tree_cache):
             cache.register_stats(registry)
@@ -144,9 +155,17 @@ class SecureMemoryEngine(ABC):
     def _record_path(self, domain: int, visited: int) -> None:
         self.stats.verifications += 1
         self.stats.tree_nodes_visited += visited
+        self._h_path.record(visited)
         rec = self.domain_path.setdefault(domain, [0, 0])
         rec[0] += 1
         rec[1] += visited
+
+    def set_tracer(self, tracer) -> None:
+        """Install ``tracer`` on this engine and everything behind it."""
+        self.tracer = tracer
+        self.mc.set_tracer(tracer)
+        for cache in (self.counter_cache, self.mac_cache, self.tree_cache):
+            cache.tracer = tracer
 
     @staticmethod
     def data_addr(pfn: int, block_in_page: int) -> int:
@@ -163,8 +182,12 @@ class SecureMemoryEngine(ABC):
         addr = self.mac_addr(pfn, block_in_page)
         if self.mac_cache.lookup(addr, is_write=dirty):
             self.stats.mac_hits += 1
+            if self.tracer.enabled:
+                self.tracer.instant("mac", "hit", ts=now, addr=addr)
             return float(self.config.secure.mac_cache.hit_latency)
         self.stats.mac_misses += 1
+        if self.tracer.enabled:
+            self.tracer.instant("mac", "miss", ts=now, addr=addr)
         lat = self._mread(addr, now)
         self._fill(self.mac_cache, addr, now, dirty=dirty)
         return lat
@@ -174,6 +197,10 @@ class SecureMemoryEngine(ABC):
     def data_access(self, domain: int, pfn: int, block_in_page: int,
                     is_write: bool, now: float) -> float:
         """LLC-missing access: fetch data + metadata; returns latency."""
+        tracing = self.tracer.enabled
+        if tracing:
+            self.tracer.begin("engine", "data_access", ts=now,
+                              domain=domain, pfn=pfn, write=is_write)
         if is_write:
             self.stats.data_writes += 1
         else:
@@ -184,12 +211,20 @@ class SecureMemoryEngine(ABC):
         # Decryption needs the verified counter; OTP generation overlaps
         # the data fetch, so only the residual AES latency serialises.
         lat_meta += self.config.secure.aes_latency
-        return max(lat_data, lat_mac, lat_meta)
+        lat = max(lat_data, lat_mac, lat_meta)
+        self._h_verify.record(lat_meta)
+        self._h_access.record(lat)
+        if tracing:
+            self.tracer.end("engine", "data_access", ts=now + lat)
+        return lat
 
     def handle_writeback(self, domain: int, pfn: int, block_in_page: int,
                          now: float) -> None:
         """Dirty LLC eviction: counter bump, MAC refresh, posted write."""
         self.stats.writebacks_absorbed += 1
+        if self.tracer.enabled:
+            self.tracer.instant("engine", "writeback", ts=now,
+                                domain=domain, pfn=pfn)
         self._verify_path(domain, pfn, now, for_write=True)
         self._mac_access(pfn, block_in_page, now, dirty=True)
         self._mwrite(self.data_addr(pfn, block_in_page), now)
@@ -202,6 +237,8 @@ class SecureMemoryEngine(ABC):
     def _reencrypt_page(self, pfn: int, now: float) -> None:
         """Minor-counter overflow: stream the page through the crypto
         engine (posted reads+writes; rare, so modelled without stall)."""
+        if self.tracer.enabled:
+            self.tracer.instant("page", "reencrypt", ts=now, pfn=pfn)
         for b in range(0, BLOCKS_PER_PAGE, 8):
             addr = self.data_addr(pfn, b)
             self._mread(addr, now)
@@ -211,9 +248,12 @@ class SecureMemoryEngine(ABC):
 
     def on_domain_start(self, domain: int) -> None:
         self.domain_path.setdefault(domain, [0, 0])
+        if self.tracer.enabled:
+            self.tracer.instant("domain", "start", domain=domain)
 
     def on_domain_end(self, domain: int) -> None:
-        pass
+        if self.tracer.enabled:
+            self.tracer.instant("domain", "end", domain=domain)
 
     def on_page_alloc(self, domain: int, pfn: int, now: float) -> float:
         self.stats.page_allocs += 1
@@ -242,11 +282,16 @@ class BaselineEngine(SecureMemoryEngine):
     def _verify_path(self, domain: int, pfn: int, now: float,
                      for_write: bool) -> float:
         sec = self.config.secure
+        tracing = self.tracer.enabled
         ctr_addr = self.geo.counter_addr(pfn)
         if self.counter_cache.lookup(ctr_addr, is_write=for_write):
             self.stats.counter_hits += 1
+            if tracing:
+                self.tracer.instant("tree", "counter_hit", ts=now, pfn=pfn)
             return float(sec.counter_cache.hit_latency)
         self.stats.counter_misses += 1
+        if tracing:
+            self.tracer.instant("tree", "counter_miss", ts=now, pfn=pfn)
         clock = now
         clock += self._mread(ctr_addr, clock)
         visited = 1  # the trusted terminator (cached node or root)
@@ -258,6 +303,9 @@ class BaselineEngine(SecureMemoryEngine):
                 break  # verified against an on-chip (trusted) copy
             visited += 1
             self.stats.tree_node_dram_reads += 1
+            if tracing:
+                self.tracer.instant("tree", "node", ts=clock,
+                                    level=node.level, index=node.index)
             clock += self._mread(addr, clock) + sec.hash_latency
             self._fill(self.tree_cache, addr, clock, dirty=for_write)
         self._record_path(domain, visited)

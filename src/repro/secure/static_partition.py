@@ -90,13 +90,19 @@ class StaticPartitionEngine(SecureMemoryEngine):
     def _verify_path(self, domain: int, pfn: int, now: float,
                      for_write: bool) -> float:
         sec = self.config.secure
+        tracing = self.tracer.enabled
         local_page = self._check_containment(domain, pfn)
         part = self._partition_of[domain]
         ctr_addr = self.sub_geo.counter_addr(pfn)
         if self.counter_cache.lookup(ctr_addr, is_write=for_write):
             self.stats.counter_hits += 1
+            if tracing:
+                self.tracer.instant("tree", "counter_hit", ts=now, pfn=pfn)
             return float(sec.counter_cache.hit_latency)
         self.stats.counter_misses += 1
+        if tracing:
+            self.tracer.instant("tree", "counter_miss", ts=now, pfn=pfn,
+                                partition=part)
         clock = now
         clock += self._mread(ctr_addr, clock)
         visited = 1
@@ -109,6 +115,10 @@ class StaticPartitionEngine(SecureMemoryEngine):
                 break
             visited += 1
             self.stats.tree_node_dram_reads += 1
+            if tracing:
+                self.tracer.instant("tree", "node", ts=clock,
+                                    level=node.level, index=node.index,
+                                    partition=part)
             clock += self._mread(addr, clock) + sec.hash_latency
             self._fill(self.tree_cache, addr, clock, dirty=for_write)
         self._record_path(domain, visited)

@@ -119,6 +119,9 @@ class VaultEngine(BaselineEngine):
         if writes >= self.OVERFLOW_PERIOD:
             writes = 0
             self.upper_overflows += 1
+            if self.tracer.enabled:
+                self.tracer.instant("tree", "vault_overflow", ts=now,
+                                    node=addr)
             self._mread(addr, now)
             self._mwrite(addr, now)
         self._node_writes[addr] = writes

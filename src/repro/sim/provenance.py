@@ -1,0 +1,62 @@
+"""Run provenance: make every JSON artifact attributable.
+
+A *manifest* records enough to re-run (or at least to attribute) any
+trace or stats dump: a stable hash of the machine configuration, the
+workload seed, the git revision the artifact was produced from, and a
+schema version so downstream tooling can detect layout changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import platform
+import subprocess
+from datetime import datetime, timezone
+from typing import Optional
+
+#: Bumped whenever the manifest or --dump-stats payload layout changes.
+STATS_SCHEMA_VERSION = 1
+
+
+def config_hash(config) -> str:
+    """Stable short hash of a (frozen, nested-dataclass) MachineConfig.
+
+    ``repr`` of frozen dataclasses is deterministic field order, so two
+    processes building the same config agree on the hash.
+    """
+    return hashlib.sha256(repr(config).encode()).hexdigest()[:16]
+
+
+def git_sha() -> Optional[str]:
+    """Current git revision of the repo this package lives in, or None."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and len(sha) == 40 else None
+
+
+def run_manifest(config=None, seed: Optional[int] = None, **extra) -> dict:
+    """Build the provenance manifest embedded in every JSON artifact."""
+    from repro import __version__
+
+    manifest = {
+        "schema_version": STATS_SCHEMA_VERSION,
+        "tool": "repro",
+        "tool_version": __version__,
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    if config is not None:
+        manifest["config_hash"] = config_hash(config)
+    if seed is not None:
+        manifest["seed"] = seed
+    manifest.update(extra)
+    return manifest

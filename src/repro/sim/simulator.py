@@ -28,8 +28,10 @@ from repro.osmodel.tlb import TLB
 from repro.secure.engine import SecureMemoryEngine
 from repro.sim.config import BLOCKS_PER_PAGE, MachineConfig
 from repro.sim.cpu import CoreModel
+from repro.sim.hist import HistogramSet
 from repro.sim.registry import StatsRegistry
 from repro.sim.stats import CoreStats, RunResult
+from repro.sim.trace import NULL_TRACER
 from repro.workloads.generator import WorkloadSpec
 
 #: Set to a non-empty value other than "0" to verify the conservation
@@ -63,7 +65,8 @@ class Simulator:
     """Runs one workload mix against one engine."""
 
     def __init__(self, config: MachineConfig, engine: SecureMemoryEngine,
-                 seed: int = 123, frame_policy: str = "sequential") -> None:
+                 seed: int = 123, frame_policy: str = "sequential",
+                 tracer=None) -> None:
         # ``sequential`` models a freshly booted buddy allocator (what the
         # paper's full-system runs see): first-touch faults land in mostly
         # contiguous frames, so the static baseline mapping gets its
@@ -88,7 +91,32 @@ class Simulator:
         #: engine never sees them); needed to balance the metadata ledger.
         self.ptw_dram_reads = 0
         self._states: list[_CoreState] = []
+        # Per-request-class latency distributions (always on: recording
+        # is one dict lookup + integer arithmetic per access).
+        self.hists = HistogramSet()
+        self._class_hist = {
+            "l1": self.hists.get("req.l1_hit"),
+            "l2": self.hists.get("req.l2_hit"),
+            "llc": self.hists.get("req.llc_hit"),
+            "mem": self.hists.get("req.llc_miss"),
+        }
+        self._class_name = {"l1": "l1_hit", "l2": "l2_hit",
+                            "llc": "llc_hit", "mem": "llc_miss"}
+        self._h_fault = self.hists.get("page_fault")
+        self._h_walk = self.hists.get("tlb_walk")
+        self.tracer = NULL_TRACER
         self.registry = self._build_registry()
+        if tracer is not None:
+            self.set_tracer(tracer)
+
+    def set_tracer(self, tracer) -> None:
+        """Install one tracer across the whole machine (hierarchy, TLB,
+        engine, metadata caches, DRAM).  Pass ``NULL_TRACER`` to turn
+        tracing back off."""
+        self.tracer = tracer
+        self.hierarchy.set_tracer(tracer)
+        self.tlb.tracer = tracer
+        self.engine.set_tracer(tracer)
 
     def _build_registry(self) -> StatsRegistry:
         """Register every stat-bearing component of this machine plus
@@ -98,6 +126,7 @@ class Simulator:
         self.tlb.register_stats(reg)
         self.engine.register_stats(reg)
         reg.register("sim", self, ("ptw_dram_reads",))
+        self.hists.register(reg, "hist.sim")
         reg.register_provider(
             "cores",
             lambda: [(f"core{i}", st.stats, None)
@@ -190,6 +219,9 @@ class Simulator:
             state.live_list[idx] = state.live_list[-1]
             state.live_list.pop()
             pfn = state.live.pop(slot)
+            if self.tracer.enabled:
+                self.tracer.instant("page", "free", ts=now + lat,
+                                    domain=state.domain, pfn=pfn)
             lat += self.engine.on_page_free(state.domain, pfn, now + lat)
             state.page_table.unmap(state.vpn_base + slot)
             self.tlb.invalidate(state.domain, state.vpn_base + slot)
@@ -202,15 +234,29 @@ class Simulator:
         """Process one trace access on core ``ci``."""
         t = st.trace
         i = st.pos
+        tr = self.tracer
+        tracing = tr.enabled
+        if tracing:
+            # Components below (caches, TLB, DRAM) stamp their events
+            # with the tracer's ambient core/clock.
+            tr.cur_tid = ci
+            tr.clock = st.clock
 
         if (t.churn_every and i and i % t.churn_every == 0
                 and len(st.live_list) > 16):
+            t0 = st.clock
             st.clock += self._churn(st, st.clock)
+            if tracing:
+                tr.complete("sim", "churn", ts=t0, dur=st.clock - t0,
+                            core=ci, domain=st.domain)
+                tr.clock = st.clock
 
         gap = int(t.gap[i])
         st.clock += gap * self.config.core.base_cpi
         st.stats.instructions += gap + 1
         st.stats.mem_accesses += 1
+        if tracing:
+            tr.clock = st.clock
 
         slot = int(t.vpage[i])
         is_write = bool(t.is_write[i])
@@ -218,12 +264,24 @@ class Simulator:
 
         pfn = st.live.get(slot)
         if pfn is None:
-            st.clock += self._alloc_page(st, slot, st.clock)
+            lat = self._alloc_page(st, slot, st.clock)
+            self._h_fault.record(lat)
+            if tracing:
+                tr.complete("page", "fault", ts=st.clock, dur=lat,
+                            core=ci, domain=st.domain, pfn=st.live[slot])
+            st.clock += lat
             pfn = st.live[slot]
         elif self.tlb.lookup(st.domain, st.vpn_base + slot) is None:
-            st.clock += self._page_walk(ci, st.domain, st.page_table,
-                                        st.vpn_base + slot, st.clock)
+            lat = self._page_walk(ci, st.domain, st.page_table,
+                                  st.vpn_base + slot, st.clock)
+            self._h_walk.record(lat)
+            if tracing:
+                tr.complete("tlb", "walk", ts=st.clock, dur=lat,
+                            core=ci, domain=st.domain)
+            st.clock += lat
             self.tlb.insert(st.domain, st.vpn_base + slot, pfn)
+        if tracing:
+            tr.clock = st.clock
 
         addr = spaces.tag(spaces.DATA, pfn * BLOCKS_PER_PAGE + block)
         res = self.hierarchy.access(ci, addr, is_write)
@@ -235,6 +293,11 @@ class Simulator:
         if res.writeback_addrs:
             self._handle_writebacks(res.writeback_addrs, st.domain,
                                     st.clock)
+        self._class_hist[res.level].record(latency)
+        if tracing:
+            tr.complete("request", self._class_name[res.level],
+                        ts=st.clock, dur=latency, core=ci,
+                        domain=st.domain, write=is_write, pfn=pfn)
         st.clock += self.core_model.access_cycles(latency)
         st.pos += 1
 
@@ -324,9 +387,10 @@ def run_workload(config: MachineConfig, engine_cls, workload: WorkloadSpec,
                  seed: int = 123, warmup: int = 0,
                  frame_policy: str = "sequential",
                  check_invariants: bool | None = None,
-                 **engine_kwargs) -> RunResult:
+                 tracer=None, **engine_kwargs) -> RunResult:
     """Convenience: build an engine, run one workload, return the result."""
     engine = engine_cls(config, seed=seed, **engine_kwargs)
-    sim = Simulator(config, engine, seed=seed, frame_policy=frame_policy)
+    sim = Simulator(config, engine, seed=seed, frame_policy=frame_policy,
+                    tracer=tracer)
     return sim.run(workload, warmup=warmup,
                    check_invariants=check_invariants)

@@ -15,6 +15,7 @@ This is what exercises the NFL's deallocation path (Fig. 8d-f).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -74,7 +75,10 @@ def generate_trace(bench: BenchmarkProfile | str, n_accesses: int,
         bench = profile(bench)
     if n_accesses < 1:
         raise ValueError("need at least one access")
-    rng = np.random.default_rng(seed ^ hash(bench.name) & 0xFFFFFFFF)
+    # crc32, not hash(): str hashing is salted per process
+    # (PYTHONHASHSEED), which would make "deterministic" a lie across runs.
+    rng = np.random.default_rng(
+        seed ^ zlib.crc32(bench.name.encode()) & 0xFFFFFFFF)
     n = n_accesses
     fp = bench.footprint_pages
     layout = chunked_layout(fp, rng)

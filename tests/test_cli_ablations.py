@@ -32,10 +32,16 @@ class TestCli:
         out = capsys.readouterr().out
         assert "invariants OK" in out
         payload = json.loads(out_path.read_text())
-        assert "baseline" in payload
-        snap = payload["baseline"]
+        assert "baseline" in payload["schemes"]
+        snap = payload["schemes"]["baseline"]
         assert snap["dram"]["reads"] > 0
-        assert {"llc", "tlb", "engine", "mc.traffic"} <= set(snap)
+        assert {"llc", "tlb", "engine", "mc.traffic",
+                "hist.sim", "hist.engine", "hist.mc"} <= set(snap)
+        manifest = payload["manifest"]
+        assert manifest["seed"] == 123
+        assert manifest["mix"] == "S-4"
+        assert len(manifest["config_hash"]) == 16
+        assert manifest["schema_version"] >= 1
 
     def test_experiment_tab1(self, capsys):
         assert main(["experiment", "tab1"]) == 0

@@ -1,0 +1,167 @@
+"""Tests for the log-bucketed latency histograms (sim/hist.py)."""
+
+import pytest
+
+from repro.sim.hist import LatencyHistogram, HistogramSet
+from repro.sim.registry import StatsRegistry
+
+
+class TestBucketing:
+    def test_linear_region_is_exact(self):
+        h = LatencyHistogram(sub_bits=3)
+        for v in range(8):          # values below 2**sub_bits
+            assert h._index(v) == v
+            assert h.bucket_bounds(v) == (v, v + 1)
+
+    def test_log_region_bounds_cover_values(self):
+        h = LatencyHistogram(sub_bits=3)
+        for v in (8, 9, 15, 16, 100, 1000, 123_456):
+            idx = h._index(v)
+            lo, hi = h.bucket_bounds(idx)
+            assert lo <= v < hi, (v, idx, lo, hi)
+
+    def test_index_is_monotone(self):
+        h = LatencyHistogram(sub_bits=3)
+        idxs = [h._index(v) for v in range(4096)]
+        assert idxs == sorted(idxs)
+
+    def test_relative_error_bound(self):
+        # bucket width / lower bound <= 2**(1-sub_bits) in the log region
+        for sub_bits, bound in ((3, 1 / 4), (4, 1 / 8)):
+            h = LatencyHistogram(sub_bits=sub_bits)
+            for v in (2 ** sub_bits, 17, 129, 5000, 10**6):
+                lo, hi = h.bucket_bounds(h._index(v))
+                assert (hi - lo) / lo <= bound + 1e-9, (sub_bits, v)
+
+    def test_negative_and_float_values_clamp(self):
+        h = LatencyHistogram()
+        h.record(-5)
+        h.record(3.7)
+        assert h.min == 0
+        assert h.max == 3
+        assert h.count == 2
+
+
+class TestPercentiles:
+    def test_exact_in_linear_region(self):
+        h = LatencyHistogram(sub_bits=3)
+        for v in range(8):
+            h.record(v)
+        assert h.percentile(100) == 7
+        assert h.percentile(50) == 3      # rank 4 of 8 -> value 3
+        assert h.percentile(0) == 0
+
+    def test_boundary_value_reports_bucket_upper(self):
+        # 8 and 9 share bucket [8, 10): estimate is the bucket's top
+        h = LatencyHistogram(sub_bits=3)
+        h.record(8)
+        assert h.percentile(50) == 9
+        h2 = LatencyHistogram(sub_bits=3)
+        h2.record(16)  # bucket [16, 20)
+        assert h2.percentile(50) == 19
+
+    def test_tail_percentiles(self):
+        h = LatencyHistogram(sub_bits=3)
+        for _ in range(100):
+            h.record(1)
+        h.record(1000)  # bucket [896, 1024)
+        assert h.percentile(50) == 1
+        assert h.percentile(99) == 1
+        assert h.percentile(100) == 1023
+
+    def test_empty_histogram(self):
+        h = LatencyHistogram()
+        assert h.percentile(50) == 0.0
+        assert h.mean == 0.0
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(101)
+
+    def test_mean_min_max_are_exact(self):
+        h = LatencyHistogram()
+        for v in (10, 20, 300):
+            h.record(v)
+        assert h.total == 330
+        assert h.mean == 110.0
+        assert h.min == 10
+        assert h.max == 300
+
+
+class TestLifecycle:
+    def test_reset(self):
+        h = LatencyHistogram()
+        h.record(42)
+        h.reset()
+        assert h.count == 0 and h.total == 0
+        assert h.min is None and h.max is None
+        assert h.counts == {}
+
+    def test_merge(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(1)
+        b.record(1000)
+        a.merge(b)
+        assert a.count == 2
+        assert a.min == 1 and a.max == 1000
+        assert a.percentile(100) == 1023
+
+    def test_merge_rejects_mismatched_sub_bits(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(sub_bits=3).merge(LatencyHistogram(sub_bits=4))
+
+    def test_to_dict(self):
+        h = LatencyHistogram()
+        h.record(5)
+        d = h.to_dict()
+        assert d["count"] == 1 and d["p50"] == 5
+
+
+class TestRegistryIntegration:
+    def _registered(self):
+        hs = HistogramSet()
+        reg = StatsRegistry()
+        hs.register(reg, "hist.test")
+        return hs, reg
+
+    def test_values_are_flat_monotonic_counters(self):
+        hs, reg = self._registered()
+        hs.get("lat").record(5)
+        hs.get("lat").record(1000)
+        snap = reg.snapshot()["hist.test"]
+        assert snap["lat.count"] == 2
+        assert snap["lat.sum"] == 1005
+        assert all(isinstance(v, int) for v in snap.values())
+
+    def test_reset_all_zeroes_window(self):
+        hs, reg = self._registered()
+        hs.get("lat").record(5)
+        reg.reset_all()
+        snap = reg.snapshot()["hist.test"]
+        assert all(v == 0 for v in snap.values())
+
+    def test_delta_windows_distributions(self):
+        hs, reg = self._registered()
+        hs.get("lat").record(5)
+        before = reg.snapshot()
+        hs.get("lat").record(5)
+        hs.get("lat").record(9)
+        delta = StatsRegistry.delta(before, reg.snapshot())["hist.test"]
+        rebuilt = HistogramSet.from_values(delta)["lat"]
+        assert rebuilt.count == 2
+        assert rebuilt.percentile(100) == 9
+
+    def test_from_values_round_trip(self):
+        hs = HistogramSet()
+        h = hs.get("lat")
+        for v in (1, 8, 8, 500):
+            h.record(v)
+        rebuilt = HistogramSet.from_values(hs.registry_values())["lat"]
+        assert rebuilt.count == h.count
+        assert rebuilt.total == h.total
+        for p in (0, 50, 95, 99, 100):
+            assert rebuilt.percentile(p) == h.percentile(p)
+
+    def test_get_is_idempotent(self):
+        hs = HistogramSet()
+        assert hs.get("x") is hs.get("x")
