@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Benchmark the experiment runner: serial vs parallel vs warm cache.
+
+Times the same sweep three ways and writes the numbers (plus a full
+provenance manifest) to ``BENCH_runner.json``:
+
+1. **serial cold** -- every cell simulated in-process, no cache;
+2. **parallel cold** -- the same cells fanned out over ``--jobs``
+   worker processes into a fresh persistent cache;
+3. **warm** -- the same cells again, answered entirely from that cache.
+
+Usage:
+    python scripts/bench.py [--quick] [--jobs N] [--out BENCH_runner.json]
+                            [--cache-dir DIR] [--check]
+
+``--check`` exits non-zero unless the warm pass beats the cold pass and
+stays under 1s/cell -- the CI regression gate for the caching layer.
+Parallel speedup is only asserted by eye (it depends on the host's core
+count; CI runners may have too few cores for a meaningful ratio).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.common import get_scale  # noqa: E402
+from repro.experiments.parallel import (CellFailure, ResultCache,  # noqa: E402
+                                        execute, scale_cell)
+from repro.sim.config import scaled_config  # noqa: E402
+from repro.sim.provenance import run_manifest  # noqa: E402
+
+#: The default sweep: the ISSUE's 4-scheme x 4-mix acceptance matrix.
+SCHEMES = ["baseline", "ivleague-basic", "ivleague-invert", "ivleague-pro"]
+MIXES = ["S-1", "S-2", "M-1", "L-2"]
+QUICK_MIXES = ["S-1", "S-2"]
+
+
+def build_cells(quick: bool):
+    sc = get_scale("quick")
+    mixes = QUICK_MIXES if quick else MIXES
+    if quick:
+        import dataclasses
+        sc = dataclasses.replace(sc, n_accesses=2000, warmup=500)
+    return [scale_cell(m, s, sc) for m in mixes for s in SCHEMES], sc, mixes
+
+
+def timed(label: str, fn):
+    t0 = time.perf_counter()
+    out = fn()
+    dt = time.perf_counter() - t0
+    n_fail = sum(isinstance(o, CellFailure) for o in out)
+    print(f"{label:14s} {dt:8.2f}s"
+          + (f"  ({n_fail} failed cells)" if n_fail else ""))
+    return out, dt
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--quick", action="store_true",
+                    help="smaller matrix for CI smoke (2 mixes, short "
+                         "traces)")
+    ap.add_argument("--jobs", type=int,
+                    default=min(4, os.cpu_count() or 1),
+                    help="workers for the parallel phase "
+                         "(default min(4, cpu_count))")
+    ap.add_argument("--out", default="BENCH_runner.json")
+    ap.add_argument("--cache-dir", default=None,
+                    help="where the cold->warm cache lives (default: a "
+                         "bench-private subdir of .cache)")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 unless warm-cache is faster than cold "
+                         "and under 1s/cell")
+    args = ap.parse_args()
+
+    cells, sc, mixes = build_cells(args.quick)
+    cache_root = args.cache_dir or os.path.join(".cache", "bench-runs")
+    cache = ResultCache(cache_root)
+    cache.clear()   # the 'cold' phases must actually be cold
+
+    print(f"{len(cells)} cells ({len(mixes)} mixes x {len(SCHEMES)} "
+          f"schemes), {sc.n_accesses} accesses/cell, "
+          f"jobs={args.jobs}, host cpus={os.cpu_count()}")
+
+    serial, t_serial = timed(
+        "serial cold", lambda: execute(cells, jobs=1, cache=None))
+    pooled, t_parallel = timed(
+        "parallel cold", lambda: execute(cells, jobs=args.jobs,
+                                         cache=cache))
+    warm, t_warm = timed(
+        "warm cache", lambda: execute(cells, jobs=args.jobs, cache=cache))
+
+    mismatched = [
+        i for i, (a, b, c) in enumerate(zip(serial, pooled, warm))
+        if not (type(a) is type(b) is type(c))
+        or (hasattr(a, "to_dict")
+            and not a.to_dict() == b.to_dict() == c.to_dict())]
+    speedup = t_serial / t_parallel if t_parallel else float("inf")
+    warm_per_cell = t_warm / len(cells)
+    print(f"parallel speedup: {speedup:.2f}x   "
+          f"warm: {warm_per_cell * 1000:.0f}ms/cell   "
+          f"cache hits: {cache.hits}/{len(cells)}")
+    if mismatched:
+        print(f"DETERMINISM VIOLATION in cells {mismatched}",
+              file=sys.stderr)
+
+    payload = {
+        "bench": "experiment-runner",
+        "host": {"cpus": os.cpu_count(),
+                 "platform": platform.platform(),
+                 "python": platform.python_version()},
+        "sweep": {"schemes": SCHEMES, "mixes": mixes,
+                  "n_cells": len(cells), "n_accesses": sc.n_accesses,
+                  "warmup": sc.warmup, "quick": args.quick},
+        "jobs": args.jobs,
+        "seconds": {"serial_cold": round(t_serial, 3),
+                    "parallel_cold": round(t_parallel, 3),
+                    "warm_cache": round(t_warm, 3)},
+        "parallel_speedup": round(speedup, 3),
+        "warm_seconds_per_cell": round(warm_per_cell, 4),
+        "cache": {"hits": cache.hits, "misses": cache.misses,
+                  "stores": cache.stores, "dir": cache_root},
+        "deterministic": not mismatched,
+        "manifest": run_manifest(
+            config=scaled_config(n_cores=sc.n_cores), seed=sc.seed,
+            mixes=mixes, schemes=SCHEMES, accesses=sc.n_accesses,
+            warmup=sc.warmup, frames=sc.frame_policy),
+    }
+    with open(args.out, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+    print(f"wrote {args.out}")
+
+    if mismatched:
+        return 1
+    if args.check:
+        ok = t_warm < t_parallel and warm_per_cell < 1.0
+        if not ok:
+            print(f"CHECK FAILED: warm={t_warm:.2f}s vs "
+                  f"cold={t_parallel:.2f}s, "
+                  f"{warm_per_cell:.2f}s/cell (need warm < cold "
+                  f"and < 1s/cell)", file=sys.stderr)
+            return 1
+        print("check passed: warm cache beats cold and is <1s/cell")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,7 @@ that produced the measured numbers recorded in EXPERIMENTS.md.
 
 Usage:
     python scripts/run_experiments.py [quick|full] [--env fragmented|sequential|both]
+                                      [--jobs N] [--no-cache] [--cache-dir DIR]
 """
 
 from __future__ import annotations
@@ -27,7 +28,16 @@ def main() -> None:
                     choices=["quick", "full"])
     ap.add_argument("--env", default="both",
                     choices=["fragmented", "sequential", "both"])
+    ap.add_argument("--jobs", type=int, default=None, metavar="N",
+                    help="parallel simulation workers (default: serial "
+                         "or $REPRO_JOBS)")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="bypass the persistent result cache")
+    ap.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="persistent cache location (default .cache/runs)")
     args = ap.parse_args()
+    runner.configure(jobs=args.jobs, cache_dir=args.cache_dir,
+                     use_cache=False if args.no_cache else None)
 
     t0 = time.time()
     tab01_config.main()

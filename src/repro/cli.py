@@ -111,6 +111,27 @@ _EXPERIMENTS = {
 }
 
 
+def _configure_runner(args) -> None:
+    """Apply --jobs/--no-cache/--cache-dir to the experiment runner."""
+    from repro.experiments import runner
+    runner.configure(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=False if args.no_cache else None)
+
+
+def _add_runner_flags(sub) -> None:
+    sub.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="simulate up to N cells in parallel worker "
+                          "processes (default: serial, or $REPRO_JOBS)")
+    sub.add_argument("--no-cache", action="store_true",
+                     help="ignore the persistent result cache: "
+                          "re-simulate every cell and store nothing")
+    sub.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="persistent result cache location "
+                          "(default: .cache/runs, or $REPRO_CACHE_DIR)")
+
+
 def _cmd_experiment(args) -> int:
     import importlib
     mod_name = _EXPERIMENTS.get(args.id)
@@ -118,6 +139,7 @@ def _cmd_experiment(args) -> int:
         print(f"unknown experiment {args.id!r}; "
               f"known: {sorted(_EXPERIMENTS)}", file=sys.stderr)
         return 2
+    _configure_runner(args)
     module = importlib.import_module(f"repro.experiments.{mod_name}")
     if args.id in ("fig3", "fig21", "fig22", "tab1", "tab2", "tab3"):
         rows = module.main()
@@ -133,6 +155,7 @@ def _cmd_experiment(args) -> int:
 
 def _cmd_ablations(args) -> int:
     from repro.experiments import ablations
+    _configure_runner(args)
     ablations.main(args.scale)
     return 0
 
@@ -200,11 +223,13 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["quick", "full"])
     exp.add_argument("--export", default=None, metavar="DIR",
                      help="also write the rows to DIR/<id>.csv")
+    _add_runner_flags(exp)
     exp.set_defaults(func=_cmd_experiment)
 
     abl = sub.add_parser("ablations", help="beyond-the-paper sweeps")
     abl.add_argument("--scale", default="quick",
                      choices=["quick", "full"])
+    _add_runner_flags(abl)
     abl.set_defaults(func=_cmd_ablations)
 
     lst = sub.add_parser("list", help="list mixes/schemes/experiments")

@@ -267,19 +267,19 @@ class IvLeagueBasicEngine(SecureMemoryEngine):
         clock += self._mread(ctr_addr, clock)
         geo = self.geometry
         visited = 1
-        level, index = ref.level, ref.node_index
-        while level <= geo.height:
-            addr = geo.node_addr(ref.treeling, level, index)
-            if self.tree_cache.lookup(addr, is_write=for_write):
+        tree_cache = self.tree_cache
+        for off, addr in enumerate(
+                geo.path_addrs(ref.treeling, ref.level, ref.node_index)):
+            if tree_cache.lookup(addr, is_write=for_write):
                 break  # trusted on-chip copy terminates the walk
             visited += 1
             self.stats.tree_node_dram_reads += 1
             if tracing:
-                self.tracer.instant("tree", "node", ts=clock, level=level,
-                                    index=index, treeling=ref.treeling)
+                self.tracer.instant("tree", "node", ts=clock,
+                                    level=ref.level + off, addr=addr,
+                                    treeling=ref.treeling)
             clock += self._mread(addr, clock) + sec.hash_latency
-            self._fill(self.tree_cache, addr, clock, dirty=for_write)
-            level, index = level + 1, index // geo.arity
+            self._fill(tree_cache, addr, clock, dirty=for_write)
         # level > height: verified against the locked (on-chip) parent of
         # the TreeLing root -- no in-memory sharing with other domains.
         self._record_path(domain, visited)

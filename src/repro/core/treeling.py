@@ -21,7 +21,7 @@ from repro.mem import spaces
 from repro.sim.config import TREE_ARITY
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SlotRef:
     """A fully decoded slot reference."""
 
@@ -53,6 +53,13 @@ class TreeLingGeometry:
         for level in range(height, 0, -1):
             self._level_base[level] = base
             base += self.level_nodes[level]
+        # Tagged address of node 0 of each level in TreeLing 0; a node's
+        # address is this plus ``treeling * nodes_per_treeling + index``
+        # (see path_addrs -- the engines' innermost loop).
+        self._tagged_level_base = {
+            level: spaces.tag(spaces.TREE, b)
+            for level, b in self._level_base.items()
+        }
 
     # -- node numbering ---------------------------------------------------------
 
@@ -114,6 +121,28 @@ class TreeLingGeometry:
 
     def slot_node_addr(self, ref: SlotRef) -> int:
         return self.node_addr(ref.treeling, ref.level, ref.node_index)
+
+    def path_addrs(self, treeling: int, level: int,
+                   node_index: int) -> list[int]:
+        """Tagged addresses from ``(level, node_index)`` up to and
+        including the TreeLing root node.
+
+        Equivalent to calling :meth:`node_addr` along the parent chain,
+        without re-deriving the local node number per level.
+        """
+        if not 1 <= level <= self.height:
+            raise IndexError(f"level {level} out of range")
+        if not 0 <= node_index < self.level_nodes[level]:
+            raise IndexError(f"node {node_index} out of level-{level} range")
+        stride = treeling * self.nodes_per_treeling
+        bases = self._tagged_level_base
+        arity = self.arity
+        out = []
+        idx = node_index
+        for lvl in range(level, self.height + 1):
+            out.append(bases[lvl] + stride + idx)
+            idx //= arity
+        return out
 
     # -- on-chip locked super-structure ----------------------------------------------
 

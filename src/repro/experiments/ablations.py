@@ -10,45 +10,53 @@
   random frame placement: quantifies how much of the static baseline's
   performance depends on OS-provided contiguity, and shows IvLeague's
   placement-independence.
+
+Each study is a pure sweep over configuration variants, so each batches
+its whole (variant x mix) grid through :func:`runner.run_cells` — one
+``--jobs N`` fan-out per study, with every cell landing in the
+persistent result cache.
 """
 
 from __future__ import annotations
 
-from repro import ENGINES
+from repro.experiments import runner
 from repro.experiments.common import format_table, get_scale, print_header
+from repro.experiments.parallel import CellFailure, scale_cell
 from repro.sim.config import scaled_config
-from repro.sim.simulator import Simulator
 from repro.sim.stats import geomean
-from repro.workloads.mixes import build_mix
 
 DEFAULT_MIXES = ["S-2", "M-1"]
 
 
-def _run(cfg, scheme, mix, sc, frame_policy=None):
-    workload = build_mix(mix, n_accesses=sc.n_accesses, seed=sc.seed)
-    engine = ENGINES[scheme](cfg, seed=11)
-    sim = Simulator(cfg, engine, seed=sc.seed,
-                    frame_policy=frame_policy or sc.frame_policy)
-    result = sim.run(workload, warmup=sc.warmup)
-    return engine, result
+def _grid(sc, mixes, scheme, variants, frame_policy=None):
+    """Run (variant x mix) cells in one batch; yields
+    ``(variant_id, mix, RunResult)`` in variant-major order."""
+    cells, tags = [], []
+    for vid, cfg in variants:
+        for mix in mixes:
+            cells.append(scale_cell(mix, scheme, sc, config=cfg,
+                                    frame_policy=frame_policy))
+            tags.append((vid, mix))
+    outcomes = runner.run_cells(cells)
+    return [(vid, mix, outcome)
+            for (vid, mix), outcome in zip(tags, outcomes)]
 
 
 def nflb_size(scale="quick", mixes=None,
               sizes=(1, 2, 4, 8)) -> list[dict]:
     sc = get_scale(scale)
+    mixes = list(mixes or DEFAULT_MIXES)
+    variants = [(n, scaled_config(n_cores=sc.n_cores).with_ivleague(
+        nflb_entries=n)) for n in sizes]
+    results = _grid(sc, mixes, "ivleague-basic", variants)
     rows = []
     for entries in sizes:
-        cfg = scaled_config(n_cores=sc.n_cores).with_ivleague(
-            nflb_entries=entries)
-        row = {"nflb_entries": entries}
-        rates, ipcs = [], []
-        for mix in mixes or DEFAULT_MIXES:
-            engine, result = _run(cfg, "ivleague-basic", mix, sc)
-            rates.append(result.engine.nflb_hit_rate)
-            ipcs.append(sum(result.ipcs))
-        row["nflb_hit_rate"] = geomean(rates)
-        row["ipc_sum"] = geomean(ipcs)
-        rows.append(row)
+        hits = [r for vid, _, r in results if vid == entries]
+        rows.append({
+            "nflb_entries": entries,
+            "nflb_hit_rate": geomean([r.engine.nflb_hit_rate for r in hits]),
+            "ipc_sum": geomean([sum(r.ipcs) for r in hits]),
+        })
     base = rows[0]["ipc_sum"]
     for r in rows:
         r["ipc_vs_1_entry"] = r.pop("ipc_sum") / base
@@ -58,38 +66,38 @@ def nflb_size(scale="quick", mixes=None,
 def tracker_size(scale="quick", mixes=None,
                  sizes=(64, 128, 256, 512)) -> list[dict]:
     sc = get_scale(scale)
+    mixes = list(mixes or DEFAULT_MIXES)
+    variants = [(n, scaled_config(n_cores=sc.n_cores).with_ivleague(
+        hot_tracker_entries=n)) for n in sizes]
+    results = _grid(sc, mixes, "ivleague-pro", variants)
     rows = []
     for entries in sizes:
-        cfg = scaled_config(n_cores=sc.n_cores).with_ivleague(
-            hot_tracker_entries=entries)
-        row = {"tracker_entries": entries}
-        migs, paths = [], []
-        for mix in mixes or DEFAULT_MIXES:
-            engine, result = _run(cfg, "ivleague-pro", mix, sc)
-            migs.append(result.engine.hot_migrations)
-            paths.append(result.engine.avg_path_length)
-        row["hot_migrations"] = sum(migs)
-        row["avg_path"] = sum(paths) / len(paths)
-        rows.append(row)
+        hits = [r for vid, _, r in results if vid == entries]
+        rows.append({
+            "tracker_entries": entries,
+            "hot_migrations": sum(r.engine.hot_migrations for r in hits),
+            "avg_path": sum(r.engine.avg_path_length
+                            for r in hits) / len(hits),
+        })
     return rows
 
 
 def hot_region_size(scale="quick", mixes=None,
                     sizes=(8, 16, 32, 64)) -> list[dict]:
     sc = get_scale(scale)
+    mixes = list(mixes or DEFAULT_MIXES)
+    variants = [(n, scaled_config(n_cores=sc.n_cores).with_ivleague(
+        hot_region_slots=n)) for n in sizes]
+    results = _grid(sc, mixes, "ivleague-pro", variants)
     rows = []
     for slots in sizes:
-        cfg = scaled_config(n_cores=sc.n_cores).with_ivleague(
-            hot_region_slots=slots)
-        row = {"hot_slots_per_treeling": slots}
-        paths, ipcs = [], []
-        for mix in mixes or DEFAULT_MIXES:
-            engine, result = _run(cfg, "ivleague-pro", mix, sc)
-            paths.append(result.engine.avg_path_length)
-            ipcs.append(sum(result.ipcs))
-        row["avg_path"] = sum(paths) / len(paths)
-        row["ipc_sum"] = geomean(ipcs)
-        rows.append(row)
+        hits = [r for vid, _, r in results if vid == slots]
+        rows.append({
+            "hot_slots_per_treeling": slots,
+            "avg_path": sum(r.engine.avg_path_length
+                            for r in hits) / len(hits),
+            "ipc_sum": geomean([sum(r.ipcs) for r in hits]),
+        })
     base = rows[0]["ipc_sum"]
     for r in rows:
         r["ipc_vs_smallest"] = r.pop("ipc_sum") / base
@@ -98,22 +106,29 @@ def hot_region_size(scale="quick", mixes=None,
 
 def frame_environment(scale="quick", mixes=None) -> list[dict]:
     sc = get_scale(scale)
+    mixes = list(mixes or DEFAULT_MIXES)
+    policies = ("sequential", "fragmented", "random")
+    schemes = ("baseline", "ivleague-pro")
+    cells, tags = [], []
+    for policy in policies:
+        for scheme in schemes:
+            for mix in mixes:
+                cells.append(scale_cell(mix, scheme, sc,
+                                        frame_policy=policy))
+                tags.append((policy, scheme, mix))
+    outcomes = runner.run_cells(cells)
+    by_tag = dict(zip(tags, outcomes))
     rows = []
-    for policy in ("sequential", "fragmented", "random"):
-        cfg = scaled_config(n_cores=sc.n_cores)
+    for policy in policies:
         row = {"frame_policy": policy}
-        for scheme in ("baseline", "ivleague-pro"):
-            paths, ipcs = [], []
-            for mix in mixes or DEFAULT_MIXES:
-                engine, result = _run(cfg, scheme, mix, sc,
-                                      frame_policy=policy)
-                paths.append(result.engine.avg_path_length)
-                ipcs.append(sum(result.ipcs))
-            row[f"{scheme}_path"] = sum(paths) / len(paths)
-            row[f"{scheme}_ipc"] = geomean(ipcs)
+        for scheme in schemes:
+            hits = [by_tag[(policy, scheme, m)] for m in mixes]
+            row[f"{scheme}_path"] = sum(r.engine.avg_path_length
+                                        for r in hits) / len(hits)
+            row[f"{scheme}_ipc"] = geomean([sum(r.ipcs) for r in hits])
         rows.append(row)
     # normalise IPCs to the sequential environment
-    for scheme in ("baseline", "ivleague-pro"):
+    for scheme in schemes:
         ref = rows[0][f"{scheme}_ipc"]
         for r in rows:
             r[f"{scheme}_ipc"] = r[f"{scheme}_ipc"] / ref
@@ -127,26 +142,27 @@ def static_partition_comparison(scale="quick", mixes=None,
     With many partitions each chunk is small: domains whose footprint
     exceeds it fail outright (the live form of Fig. 22); domains that
     fit run with baseline-like performance but frozen flexibility.
+    An overflowing partition comes back as a :class:`CellFailure`, the
+    same 'x' data point the paper plots.
     """
-    from repro.osmodel.allocator import OutOfMemoryError
-    from repro.secure.static_partition import StaticPartitionEngine
     sc = get_scale(scale)
+    mixes = list(mixes or DEFAULT_MIXES + ["L-1"])
+    scheme = f"static-partition:{n_partitions}"
+    cells = [scale_cell(mix, s, sc)
+             for mix in mixes for s in ("baseline", scheme)]
+    outcomes = runner.run_cells(cells)
+    by_cell = {(c.mix, c.scheme): o for c, o in zip(cells, outcomes)}
+    cfg = scaled_config(n_cores=sc.n_cores)
     rows = []
-    for mix in mixes or DEFAULT_MIXES + ["L-1"]:
-        cfg = scaled_config(n_cores=sc.n_cores)
-        workload = build_mix(mix, n_accesses=sc.n_accesses, seed=sc.seed)
-        _, base = _run(cfg, "baseline", mix, sc)
-        engine = StaticPartitionEngine(cfg, n_partitions=n_partitions,
-                                       seed=11)
-        sim = Simulator(cfg, engine, seed=sc.seed,
-                        frame_policy=sc.frame_policy)
+    for mix in mixes:
         row = {"mix": mix,
-               "partition_pages": engine.pages_per_partition}
-        try:
-            result = sim.run(workload, warmup=sc.warmup)
-            row["static_vs_baseline"] = result.weighted_ipc(base)
-        except OutOfMemoryError:
+               "partition_pages": cfg.memory_pages // n_partitions}
+        outcome = by_cell[(mix, scheme)]
+        if isinstance(outcome, CellFailure):
             row["static_vs_baseline"] = "x (partition overflow)"
+        else:
+            row["static_vs_baseline"] = outcome.weighted_ipc(
+                by_cell[(mix, "baseline")])
         rows.append(row)
     return rows
 

@@ -16,10 +16,9 @@ from repro import ENGINES, EXTRA_ENGINES
 from repro.attacks.channel import recover_exponent
 from repro.attacks.metaleak import MetaLeakAttack, attack_config
 from repro.attacks.rsa_victim import RsaVictim
+from repro.experiments import runner
 from repro.experiments.common import format_table, get_scale, print_header
-from repro.sim.config import scaled_config
-from repro.sim.simulator import Simulator
-from repro.workloads.mixes import build_mix
+from repro.experiments.parallel import scale_cell
 
 COMPARATORS = {
     "baseline": ENGINES["baseline"],
@@ -34,22 +33,20 @@ DEFAULT_MIXES = ["S-2", "M-1"]
 def compute(scale="quick", mixes=None, attack_bits: int = 64
             ) -> list[dict]:
     sc = get_scale(scale)
+    mixes = list(mixes or DEFAULT_MIXES)
+    # Timing cells for every comparator in one batch; the MetaLeak
+    # attack below is trace-level (no Simulator) and stays in-process.
+    cells = [scale_cell(mix, name, sc)
+             for name in COMPARATORS for mix in mixes]
+    outcomes = runner.run_cells(cells)
+    by_cell = {(c.scheme, c.mix): o for c, o in zip(cells, outcomes)}
     rows = []
-    base_results = {}
     for name, cls in COMPARATORS.items():
         row = {"scheme": name}
         ipcs, paths = [], []
-        for mix in mixes or DEFAULT_MIXES:
-            cfg = scaled_config(n_cores=sc.n_cores)
-            workload = build_mix(mix, n_accesses=sc.n_accesses,
-                                 seed=sc.seed)
-            engine = cls(cfg, seed=11)
-            sim = Simulator(cfg, engine, seed=sc.seed,
-                            frame_policy=sc.frame_policy)
-            result = sim.run(workload, warmup=sc.warmup)
-            if name == "baseline":
-                base_results[mix] = result
-            ipcs.append(result.weighted_ipc(base_results[mix]))
+        for mix in mixes:
+            result = by_cell[(name, mix)]
+            ipcs.append(result.weighted_ipc(by_cell[("baseline", mix)]))
             paths.append(result.engine.avg_path_length)
         row["weighted_ipc"] = sum(ipcs) / len(ipcs)
         row["avg_path"] = sum(paths) / len(paths)

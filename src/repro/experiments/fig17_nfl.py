@@ -6,57 +6,56 @@
     and Large workload; NFL gains 6-18%.
 (b) TreeLing slot utilization with the NFL (>99.99%) and the absolute
     number of untracked slots (17-52 in the paper).
+
+All cells (baseline reference + three allocators per mix) go through
+the parallel runner in one batch; a starved allocator comes back as a
+:class:`~repro.experiments.parallel.CellFailure` data point rather than
+an exception, so one starvation cannot abort the sweep.
 """
 
 from __future__ import annotations
 
-from repro.core.bv_engine import IvLeagueBVv1Engine, IvLeagueBVv2Engine
-from repro.core.domain import TreeLingStarvation
-from repro.core.ivleague import IvLeagueBasicEngine
+from repro.experiments import runner
 from repro.experiments.common import format_table, get_scale, print_header
-from repro.experiments.runner import run_mix
-from repro.sim.config import scaled_config
-from repro.sim.simulator import Simulator
-from repro.workloads.mixes import build_mix
+from repro.experiments.parallel import CellFailure, scale_cell
 
 DEFAULT_MIXES = ["S-2", "M-1", "L-2"]
 
+#: Display label -> scheme name understood by the execution engine.
 ALLOCATORS = {
-    "NFL": IvLeagueBasicEngine,
-    "BV-v1": IvLeagueBVv1Engine,
-    "BV-v2": IvLeagueBVv2Engine,
+    "NFL": "ivleague-basic",
+    "BV-v1": "ivleague-bv1",
+    "BV-v2": "ivleague-bv2",
 }
-
-
-def _run(engine_cls, mix: str, sc, frame_policy):
-    cfg = scaled_config(n_cores=sc.n_cores)
-    workload = build_mix(mix, n_accesses=sc.n_accesses, seed=sc.seed)
-    engine = engine_cls(cfg, seed=11)
-    sim = Simulator(cfg, engine, seed=sc.seed,
-                    frame_policy=frame_policy or sc.frame_policy)
-    result = sim.run(workload, warmup=sc.warmup)
-    return engine, result
 
 
 def compute(scale="quick", mixes=None, frame_policy=None
             ) -> tuple[list[dict], list[dict]]:
     sc = get_scale(scale)
+    mixes = list(mixes or DEFAULT_MIXES)
+    schemes = ["baseline", *ALLOCATORS.values()]
+    cells = [scale_cell(mix, scheme, sc, frame_policy=frame_policy)
+             for mix in mixes for scheme in schemes]
+    outcomes = runner.run_cells(cells)
+    by_cell = {(c.mix, c.scheme): o for c, o in zip(cells, outcomes)}
+
     perf_rows, util_rows = [], []
-    for mix in mixes or DEFAULT_MIXES:
-        base = run_mix(mix, "baseline", sc, frame_policy=frame_policy)
+    for mix in mixes:
+        base = by_cell[(mix, "baseline")]
         row = {"mix": mix}
-        for label, cls in ALLOCATORS.items():
-            try:
-                engine, result = _run(cls, mix, sc, frame_policy)
-            except TreeLingStarvation:
+        for label, scheme in ALLOCATORS.items():
+            outcome = by_cell[(mix, scheme)]
+            if isinstance(outcome, CellFailure):
                 row[label] = "x (starved)"
                 continue
-            row[label] = result.weighted_ipc(base)
+            row[label] = outcome.weighted_ipc(base)
             if label == "NFL":
                 util_rows.append({
                     "mix": mix,
-                    "utilization": engine.treeling_utilization(),
-                    "untracked_slots": engine.untracked_slots(),
+                    "utilization":
+                        outcome.engine_metrics["treeling_utilization"],
+                    "untracked_slots":
+                        outcome.engine_metrics["untracked_slots"],
                 })
         perf_rows.append(row)
     return perf_rows, util_rows

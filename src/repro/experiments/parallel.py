@@ -1,0 +1,353 @@
+"""Parallel experiment execution engine with a persistent result cache.
+
+The evaluation sweeps are embarrassingly parallel: every *cell* — one
+(mix, scheme, scale, frame policy, seed) combination — is an independent
+simulation whose outcome is fully determined by its specification.  This
+module turns that structure into wall-clock:
+
+* :class:`Cell` is the picklable specification of one simulation;
+  :func:`cell_key` derives a stable content hash from it (via the
+  provenance ``config_hash``), which is both the dedupe key and the
+  on-disk cache key.
+* :class:`ResultCache` persists :class:`~repro.sim.stats.RunResult`
+  payloads under ``.cache/runs/`` so figure scripts, the CLI and CI
+  re-runs are incremental — a cell is simulated once per configuration,
+  ever, until the cache schema or the config changes.
+* :func:`execute` fans cells out across CPU cores with a
+  ``ProcessPoolExecutor``, consulting the cache first and returning
+  results in input order.
+
+Domain-model failures (TreeLing starvation, partition overflow) are
+*outcomes*, not errors: workers return a :class:`CellFailure` marker so
+one starved allocator cell cannot poison a whole sweep, and the failure
+itself is cached (it is just as deterministic as a result).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from hashlib import sha256
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.sim.config import MachineConfig, scaled_config
+from repro.sim.provenance import STATS_SCHEMA_VERSION, config_hash
+from repro.sim.stats import RunResult
+
+#: Bumped whenever the pickled payload layout (RunResult/CoreStats/
+#: EngineStats fields, Cell fields, payload envelope) changes, so stale
+#: cache entries from an older code schema are never deserialised.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default persistent cache location, overridable per-process.
+DEFAULT_CACHE_DIR = os.path.join(".cache", "runs")
+
+#: Environment overrides honoured by :func:`default_cache_dir`.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_cache_dir() -> str:
+    return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+
+
+def cache_disabled_by_env() -> bool:
+    return os.environ.get(NO_CACHE_ENV, "0") not in ("", "0")
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` if set, else 1 (serial)."""
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return 1
+
+
+# ---------------------------------------------------------------------------
+# Cell specification
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Cell:
+    """One simulation: a workload mix under a scheme at a given scale.
+
+    ``config=None`` means the standard scaled machine for ``n_cores``;
+    sweeps that vary the machine attach their explicit
+    :class:`MachineConfig` (it is a frozen dataclass, so it pickles
+    across the process pool and hashes stably via ``repr``).
+    """
+
+    mix: str
+    scheme: str
+    n_accesses: int
+    warmup: int
+    seed: int                       # workload/placement seed
+    frame_policy: str
+    n_cores: int = 4
+    engine_seed: int = 11
+    config: Optional[MachineConfig] = None
+
+    def resolve_config(self) -> MachineConfig:
+        return self.config or scaled_config(n_cores=self.n_cores)
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A deterministic domain-model failure (e.g. TreeLing starvation).
+
+    Carried in place of a RunResult so sweeps can report the failure as
+    a data point — the live form of the paper's Fig. 22 'x' marks.
+    """
+
+    kind: str
+    message: str
+
+
+def cell_key(cell: Cell) -> str:
+    """Stable content hash identifying ``cell``'s result.
+
+    Keyed by the provenance ``config_hash`` of the *resolved* machine
+    configuration — not object identity — so two separately built but
+    equal configs share one cache entry, and any config change (however
+    deep in the nested dataclasses) invalidates it.  The cache and
+    stats schema versions are mixed in so a payload-layout change can
+    never serve stale bytes.
+    """
+    spec = (
+        CACHE_SCHEMA_VERSION, STATS_SCHEMA_VERSION,
+        config_hash(cell.resolve_config()),
+        cell.mix, cell.scheme, cell.n_accesses, cell.warmup,
+        cell.seed, cell.frame_policy, cell.n_cores, cell.engine_seed,
+    )
+    return sha256(repr(spec).encode()).hexdigest()[:32]
+
+
+# ---------------------------------------------------------------------------
+# Engine resolution + the worker
+# ---------------------------------------------------------------------------
+
+def resolve_engine(scheme: str):
+    """Engine class for a scheme name (paper engines, comparators, and
+    the Fig. 17 bit-vector allocator ablations)."""
+    from repro import ENGINES, EXTRA_ENGINES
+    cls = ENGINES.get(scheme) or EXTRA_ENGINES.get(scheme)
+    if cls is not None:
+        return cls
+    if scheme in ("ivleague-bv1", "ivleague-bv2"):
+        from repro.core.bv_engine import (IvLeagueBVv1Engine,
+                                          IvLeagueBVv2Engine)
+        return (IvLeagueBVv1Engine if scheme == "ivleague-bv1"
+                else IvLeagueBVv2Engine)
+    if scheme.startswith("static-partition:"):
+        from functools import partial
+
+        from repro.secure.static_partition import StaticPartitionEngine
+        return partial(StaticPartitionEngine,
+                       n_partitions=int(scheme.split(":", 1)[1]))
+    raise KeyError(f"unknown scheme {scheme!r}")
+
+
+def _engine_metrics(engine) -> dict:
+    """Scheme-specific scalars that only exist on the live engine object
+    (the engine itself cannot cross the process boundary)."""
+    metrics: dict = {}
+    if hasattr(engine, "treeling_utilization"):
+        metrics["treeling_utilization"] = engine.treeling_utilization()
+        metrics["untracked_slots"] = engine.untracked_slots()
+    return metrics
+
+
+def run_cell(cell: Cell):
+    """Simulate one cell; the process-pool worker entry point.
+
+    Returns a :class:`RunResult` (with ``engine_metrics`` attached) or a
+    :class:`CellFailure` for deterministic domain-model failures.
+    """
+    from repro.core.domain import TreeLingStarvation
+    from repro.osmodel.allocator import OutOfMemoryError
+    from repro.sim.simulator import Simulator
+    from repro.workloads.mixes import build_mix
+
+    cfg = cell.resolve_config()
+    workload = build_mix(cell.mix, n_accesses=cell.n_accesses,
+                         seed=cell.seed)
+    engine = resolve_engine(cell.scheme)(cfg, seed=cell.engine_seed)
+    sim = Simulator(cfg, engine, seed=cell.seed,
+                    frame_policy=cell.frame_policy)
+    try:
+        result = sim.run(workload, warmup=cell.warmup)
+    except TreeLingStarvation as exc:
+        return CellFailure("treeling-starvation", str(exc))
+    except OutOfMemoryError as exc:
+        return CellFailure("out-of-memory", str(exc))
+    result.engine_metrics = _engine_metrics(engine)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Persistent result cache
+# ---------------------------------------------------------------------------
+
+class ResultCache:
+    """Content-addressed on-disk store of simulation outcomes.
+
+    One pickle file per cell key.  Writes are atomic (tempfile +
+    ``os.replace``), reads validate the envelope (schema version + key
+    echo) and treat *any* failure — truncated file, stale schema,
+    unpicklable bytes — as a miss: the entry is dropped and the cell is
+    re-simulated.  A corrupted cache can cost time, never correctness.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = Path(root if root is not None else default_cache_dir())
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.recovered = 0   # corrupted/stale entries dropped on read
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str):
+        """Cached outcome for ``key`` or ``None`` (never raises)."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as f:
+                payload = pickle.load(f)
+            if (not isinstance(payload, dict)
+                    or payload.get("cache_schema") != CACHE_SCHEMA_VERSION
+                    or payload.get("key") != key):
+                raise ValueError("stale or foreign cache envelope")
+            outcome = payload["outcome"]
+            if not isinstance(outcome, (RunResult, CellFailure)):
+                raise TypeError("unexpected payload type")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupted entry: drop it and fall back to a re-run.
+            self.recovered += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return outcome
+
+    def put(self, key: str, outcome, cell: Cell | None = None) -> None:
+        """Persist ``outcome`` under ``key``; best-effort (never raises)."""
+        payload = {
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "cell": cell,
+            "outcome": outcome,
+        }
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return   # read-only/ full disk: run uncached
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        n = 0
+        if self.root.is_dir():
+            for p in self.root.glob("*.pkl"):
+                try:
+                    p.unlink()
+                    n += 1
+                except OSError:
+                    pass
+        return n
+
+
+# ---------------------------------------------------------------------------
+# Orchestration
+# ---------------------------------------------------------------------------
+
+def _pool_context():
+    """Prefer fork on POSIX: workers inherit the already-imported
+    modules instead of re-importing numpy per process."""
+    import multiprocessing
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:   # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def execute(cells: Sequence[Cell], jobs: int = 1,
+            cache: ResultCache | None = None) -> list:
+    """Run every cell, in parallel, through the persistent cache.
+
+    Returns outcomes aligned with ``cells`` (a :class:`RunResult` or
+    :class:`CellFailure` per cell).  Duplicate cells are simulated once.
+    ``jobs<=1`` runs in-process; otherwise misses fan out over a
+    ``ProcessPoolExecutor`` with ``min(jobs, misses)`` workers.
+    """
+    keys = [cell_key(c) for c in cells]
+    outcomes: dict[str, object] = {}
+    pending: list[tuple[str, Cell]] = []
+    seen: set[str] = set()
+    for key, cell in zip(keys, cells):
+        if key in seen:
+            continue
+        seen.add(key)
+        hit = cache.get(key) if cache is not None else None
+        if hit is not None:
+            outcomes[key] = hit
+        else:
+            pending.append((key, cell))
+
+    if pending:
+        if jobs <= 1 or len(pending) == 1:
+            fresh = [(key, run_cell(cell)) for key, cell in pending]
+        else:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=_pool_context()) as pool:
+                futures = [(key, pool.submit(run_cell, cell))
+                           for key, cell in pending]
+                fresh = [(key, fut.result()) for key, fut in futures]
+        for (key, cell), (_, outcome) in zip(pending, fresh):
+            outcomes[key] = outcome
+            if cache is not None:
+                cache.put(key, outcome, cell)
+
+    return [outcomes[key] for key in keys]
+
+
+def scale_cell(mix: str, scheme: str, sc,
+               frame_policy: str | None = None,
+               config: MachineConfig | None = None) -> Cell:
+    """Build a :class:`Cell` from an experiment ``Scale`` object."""
+    return Cell(mix=mix, scheme=scheme, n_accesses=sc.n_accesses,
+                warmup=sc.warmup, seed=sc.seed,
+                frame_policy=frame_policy or sc.frame_policy,
+                n_cores=sc.n_cores, config=config)
+
+
+def with_policy(cell: Cell, frame_policy: str) -> Cell:
+    """Variant of ``cell`` under a different frame-placement policy."""
+    return replace(cell, frame_policy=frame_policy)

@@ -1,40 +1,117 @@
 """Cached mix runner shared by the Fig. 15/16/18/19 experiments.
 
 Running a workload mix under a scheme is the expensive operation; four
-different figures read different statistics off the same run, so results
-are memoised per (scale, mix, scheme) within the process.
+different figures read different statistics off the same run.  Results
+are memoised at two levels:
+
+* an in-process memo (same object returned for repeated requests within
+  one process), keyed by the cell's *content hash* — the provenance
+  ``config_hash`` plus every workload/scale parameter.  The seed keyed
+  configs by ``id(config)``, which is unsound both ways: CPython reuses
+  ids after GC (two different configs could alias one entry) and two
+  equal configs never matched (every caller paid a cold run);
+* the persistent on-disk :class:`~repro.experiments.parallel.ResultCache`
+  shared across processes and sessions, so each figure script and CI
+  job only pays for cells nobody has simulated before.
+
+``run_all`` fans uncached cells out across CPU cores through
+:func:`repro.experiments.parallel.execute`; :func:`configure` (or the
+CLI's ``--jobs/--no-cache/--cache-dir``) sets the policy.
 """
 
 from __future__ import annotations
 
 from repro import ENGINES
+from repro.experiments import parallel
 from repro.experiments.common import Scale, get_scale
-from repro.sim.config import scaled_config
-from repro.sim.simulator import Simulator
+from repro.experiments.parallel import Cell, CellFailure, ResultCache
 from repro.sim.stats import RunResult
-from repro.workloads.mixes import ALL, build_mix
+from repro.workloads.mixes import ALL
 
-_CACHE: dict[tuple, RunResult] = {}
+_MEMO: dict[str, RunResult] = {}
 
 SCHEMES = list(ENGINES)   # baseline, ivleague-basic, -invert, -pro
+
+#: Process-wide execution policy; see :func:`configure`.
+_JOBS: int = parallel.default_jobs()
+_USE_CACHE: bool = not parallel.cache_disabled_by_env()
+_CACHE_DIR: str | None = None
+_DISK_CACHE: ResultCache | None = None
+
+
+def configure(jobs: int | None = None, cache_dir: str | None = None,
+              use_cache: bool | None = None) -> None:
+    """Set the runner's parallelism and persistent-cache policy.
+
+    ``None`` leaves a setting unchanged.  Changing ``cache_dir`` or
+    ``use_cache`` drops the current :class:`ResultCache` handle (the
+    next run opens the new location); the in-process memo is untouched.
+    """
+    global _JOBS, _CACHE_DIR, _USE_CACHE, _DISK_CACHE
+    if jobs is not None:
+        _JOBS = max(1, int(jobs))
+    if cache_dir is not None:
+        _CACHE_DIR = cache_dir
+        _DISK_CACHE = None
+    if use_cache is not None:
+        _USE_CACHE = bool(use_cache)
+        _DISK_CACHE = None
+
+
+def disk_cache() -> ResultCache | None:
+    """The active persistent cache, or ``None`` when caching is off."""
+    global _DISK_CACHE
+    if not _USE_CACHE:
+        return None
+    if _DISK_CACHE is None:
+        _DISK_CACHE = ResultCache(_CACHE_DIR)
+    return _DISK_CACHE
+
+
+def _cell(mix: str, scheme: str, sc: Scale,
+          config=None, frame_policy: str | None = None) -> Cell:
+    return parallel.scale_cell(mix, scheme, sc,
+                               frame_policy=frame_policy, config=config)
+
+
+def _unwrap(cell: Cell, outcome) -> RunResult:
+    if isinstance(outcome, CellFailure):
+        raise RuntimeError(
+            f"cell ({cell.mix}, {cell.scheme}) failed "
+            f"deterministically: {outcome.kind}: {outcome.message}")
+    return outcome
+
+
+def run_cells(cells: list[Cell]) -> list:
+    """Run arbitrary cells under the runner's jobs/cache policy.
+
+    Returns outcomes aligned with ``cells`` (RunResult or CellFailure),
+    memoising RunResults in-process like :func:`run_mix` does.
+    """
+    keys = [parallel.cell_key(c) for c in cells]
+    missing = [(k, c) for k, c in zip(keys, cells) if k not in _MEMO]
+    fresh: dict[str, object] = {}
+    if missing:
+        outcomes = parallel.execute([c for _, c in missing],
+                                    jobs=_JOBS, cache=disk_cache())
+        for (key, _), outcome in zip(missing, outcomes):
+            fresh[key] = outcome
+            if isinstance(outcome, RunResult):
+                _MEMO[key] = outcome
+    return [_MEMO.get(key) or fresh[key] for key in keys]
 
 
 def run_mix(mix: str, scheme: str, scale: str | Scale = "quick",
             config=None, frame_policy: str | None = None) -> RunResult:
     """Run (or fetch) one mix under one scheme."""
-    sc = get_scale(scale)
-    policy = frame_policy or sc.frame_policy
-    key = (sc.name, mix, scheme, policy,
-           id(config) if config is not None else None)
-    hit = _CACHE.get(key)
+    cell = _cell(mix, scheme, get_scale(scale), config, frame_policy)
+    key = parallel.cell_key(cell)
+    hit = _MEMO.get(key)
     if hit is not None:
         return hit
-    cfg = config or scaled_config(n_cores=sc.n_cores)
-    workload = build_mix(mix, n_accesses=sc.n_accesses, seed=sc.seed)
-    engine = ENGINES[scheme](cfg, seed=11)
-    sim = Simulator(cfg, engine, seed=sc.seed, frame_policy=policy)
-    result = sim.run(workload, warmup=sc.warmup)
-    _CACHE[key] = result
+    outcome = parallel.execute([cell], jobs=1, cache=disk_cache())[0]
+    result = _unwrap(cell, outcome)
+    _MEMO[key] = result
     return result
 
 
@@ -42,15 +119,22 @@ def run_all(scale: str | Scale = "quick", mixes: list[str] | None = None,
             schemes: list[str] | None = None,
             frame_policy: str | None = None
             ) -> dict[str, dict[str, RunResult]]:
-    """All requested mixes under all requested schemes."""
-    out: dict[str, dict[str, RunResult]] = {}
-    for mix in mixes or ALL:
-        out[mix] = {
-            s: run_mix(mix, s, scale, frame_policy=frame_policy)
-            for s in (schemes or SCHEMES)
-        }
+    """All requested mixes under all requested schemes, fanned out
+    across cores for cells not already memoised or cached on disk."""
+    sc = get_scale(scale)
+    mixes = list(mixes or ALL)
+    schemes = list(schemes or SCHEMES)
+    grid = [(mix, scheme) for mix in mixes for scheme in schemes]
+    cells = [_cell(mix, scheme, sc, frame_policy=frame_policy)
+             for mix, scheme in grid]
+    outcomes = run_cells(cells)
+    out: dict[str, dict[str, RunResult]] = {mix: {} for mix in mixes}
+    for (mix, scheme), cell, outcome in zip(grid, cells, outcomes):
+        out[mix][scheme] = _unwrap(cell, outcome)
     return out
 
 
 def clear_cache() -> None:
-    _CACHE.clear()
+    """Drop the in-process memo (the on-disk cache is left alone; use
+    ``disk_cache().clear()`` or ``--no-cache`` to force cold runs)."""
+    _MEMO.clear()

@@ -22,7 +22,7 @@ from repro.sim.stats import Counter
 from repro.sim.trace import NULL_TRACER
 
 
-@dataclass
+@dataclass(slots=True)
 class Eviction:
     """A victim block pushed out by a fill."""
 

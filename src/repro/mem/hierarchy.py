@@ -17,7 +17,7 @@ from repro.mem.mirage import make_cache
 from repro.sim.config import MachineConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class HierarchyResult:
     """Outcome of an on-chip lookup."""
 

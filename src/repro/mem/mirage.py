@@ -63,15 +63,20 @@ class MirageCache(Cache):
         return addr in self._sets[c0] or addr in self._sets[c1]
 
     def lookup(self, addr: int, is_write: bool = False) -> bool:
-        for idx in self._candidates(addr):
-            s = self._sets[idx]
+        # Hot path: probe the first skew before computing the second
+        # hash -- roughly half of all hits never pay for it.
+        sets = self._sets
+        s = sets[_mix(addr, self._key0) % self.n_sets]
+        entry = s.get(addr)
+        if entry is None:
+            s = sets[_mix(addr, self._key1) % self.n_sets]
             entry = s.get(addr)
-            if entry is not None:
-                if is_write:
-                    entry[0] = True
-                s.move_to_end(addr)
-                self.stats.hits += 1
-                return True
+        if entry is not None:
+            if is_write:
+                entry[0] = True
+            s.move_to_end(addr)
+            self.stats.hits += 1
+            return True
         self.stats.misses += 1
         return False
 

@@ -23,7 +23,7 @@ from repro.secure.crypto import keyed_hash
 from repro.sim.config import TREE_ARITY
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeId:
     """A tree node: level 1 = leaf hash nodes, ``height`` = the root."""
 
@@ -57,6 +57,12 @@ class TreeGeometry:
             base += s
         self._level_base = bases
         self.total_nodes = base
+        # Tagged address of node 0 per level: node blocks within a level
+        # are consecutive, so ``tagged_base + index`` equals
+        # ``spaces.tag(spaces.TREE, level_base + index)`` without paying
+        # the shift-and-or per node on the verification hot path.
+        self._tagged_level_base = [spaces.tag(spaces.TREE, b)
+                                   for b in bases]
 
     # -- structure ------------------------------------------------------------
 
@@ -94,6 +100,24 @@ class TreeGeometry:
         return path
 
     # -- physical addressing ----------------------------------------------------
+
+    def path_addrs(self, counter_block: int) -> list[int]:
+        """Tagged addresses of the verification path, leaf first, *root
+        excluded* (the root is on-chip and never fetched).
+
+        Equivalent to ``[node_addr(n) for n in path_to_root(cb)[:-1]]``
+        but without materialising a :class:`NodeId` per level -- this is
+        the innermost loop of every timing engine.
+        """
+        if not 0 <= counter_block < self.n_counter_blocks:
+            raise IndexError(f"counter block {counter_block} out of range")
+        arity = self.arity
+        idx = counter_block
+        out = []
+        for base in self._tagged_level_base[:self.height - 1]:
+            idx //= arity
+            out.append(base + idx)
+        return out
 
     def node_addr(self, node: NodeId) -> int:
         """Tagged block address of a node (one node = one 64B block)."""

@@ -171,10 +171,7 @@ class SgxCounterTreeEngine(BaselineEngine):
         if for_write:
             # counter-tree write: the path's nodes are dirtied up to the
             # first cached level (they hold incremented counters now)
-            for node in self.geo.path_to_root(pfn):
-                if node.level >= self.geo.height:
-                    break
-                addr = self.geo.node_addr(node)
+            for addr in self.geo.path_addrs(pfn):
                 if self.tree_cache.contains(addr):
                     self.tree_cache.lookup(addr, is_write=True)
                     break

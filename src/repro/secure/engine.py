@@ -295,19 +295,19 @@ class BaselineEngine(SecureMemoryEngine):
         clock = now
         clock += self._mread(ctr_addr, clock)
         visited = 1  # the trusted terminator (cached node or root)
-        for node in self.geo.path_to_root(pfn):
-            if node.level >= self.geo.height:
-                break  # global root: on-chip, trusted
-            addr = self.geo.node_addr(node)
-            if self.tree_cache.lookup(addr, is_write=for_write):
+        # path_addrs excludes the on-chip root, so every address here is
+        # a real candidate fetch.
+        tree_cache = self.tree_cache
+        for level, addr in enumerate(self.geo.path_addrs(pfn), start=1):
+            if tree_cache.lookup(addr, is_write=for_write):
                 break  # verified against an on-chip (trusted) copy
             visited += 1
             self.stats.tree_node_dram_reads += 1
             if tracing:
                 self.tracer.instant("tree", "node", ts=clock,
-                                    level=node.level, index=node.index)
+                                    level=level, addr=addr)
             clock += self._mread(addr, clock) + sec.hash_latency
-            self._fill(self.tree_cache, addr, clock, dirty=for_write)
+            self._fill(tree_cache, addr, clock, dirty=for_write)
         self._record_path(domain, visited)
         self._fill(self.counter_cache, ctr_addr, clock, dirty=for_write)
         return clock - now

@@ -107,20 +107,20 @@ class StaticPartitionEngine(SecureMemoryEngine):
         clock += self._mread(ctr_addr, clock)
         visited = 1
         offset = (part + 1) << 40  # per-partition node address region
-        for node in self.sub_geo.path_to_root(local_page):
-            if node.level >= self.sub_geo.height:
-                break  # partition root: on-chip
-            addr = self.sub_geo.node_addr(node) + offset
-            if self.tree_cache.lookup(addr, is_write=for_write):
-                break
+        tree_cache = self.tree_cache
+        for level, base in enumerate(
+                self.sub_geo.path_addrs(local_page), start=1):
+            addr = base + offset
+            if tree_cache.lookup(addr, is_write=for_write):
+                break  # verified against an on-chip copy (or the root)
             visited += 1
             self.stats.tree_node_dram_reads += 1
             if tracing:
                 self.tracer.instant("tree", "node", ts=clock,
-                                    level=node.level, index=node.index,
+                                    level=level, addr=addr,
                                     partition=part)
             clock += self._mread(addr, clock) + sec.hash_latency
-            self._fill(self.tree_cache, addr, clock, dirty=for_write)
+            self._fill(tree_cache, addr, clock, dirty=for_write)
         self._record_path(domain, visited)
         self._fill(self.counter_cache, ctr_addr, clock, dirty=for_write)
         return clock - now

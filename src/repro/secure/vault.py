@@ -52,6 +52,11 @@ class VaultGeometry:
             base += s
         self._level_base = bases
         self.total_nodes = base
+        # Tagged level-0-node addresses (with the anti-aliasing offset
+        # baked in) for the hot verification walk; see
+        # TreeGeometry._tagged_level_base.
+        self._tagged_level_base = [
+            spaces.tag(spaces.TREE, (1 << 44) + b) for b in bases]
 
     def _arity_of(self, level: int) -> int:
         return self.arities[level - 1]
@@ -74,6 +79,19 @@ class VaultGeometry:
             node = self.parent(node)
             path.append(node)
         return path
+
+    def path_addrs(self, counter_block: int) -> list[int]:
+        """Tagged verification-path addresses, leaf first, root excluded
+        (matches :meth:`repro.secure.bmt.TreeGeometry.path_addrs`)."""
+        if not 0 <= counter_block < self.n_counter_blocks:
+            raise IndexError(f"counter block {counter_block} out of range")
+        idx = counter_block
+        out = []
+        for i, base in enumerate(
+                self._tagged_level_base[:self.height - 1]):
+            idx //= self.arities[i]
+            out.append(base + idx)
+        return out
 
     def node_addr(self, node: NodeId) -> int:
         if not 1 <= node.level <= self.height:

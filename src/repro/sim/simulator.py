@@ -44,7 +44,7 @@ def _env_check_invariants() -> bool:
     return os.environ.get(CHECK_INVARIANTS_ENV, "0") not in ("", "0")
 
 
-@dataclass
+@dataclass(slots=True)
 class _CoreState:
     domain: int
     trace: object
@@ -303,15 +303,17 @@ class Simulator:
 
     def _drain(self, states: list[_CoreState], until: int) -> None:
         """Advance every core to access index ``until`` (min-clock order)."""
+        limits = [min(until, len(st.trace)) for st in states]
         heap = [(st.clock, i) for i, st in enumerate(states)
-                if st.pos < min(until, len(st.trace))]
+                if st.pos < limits[i]]
         heapq.heapify(heap)
+        push, pop = heapq.heappush, heapq.heappop
         while heap:
-            _, ci = heapq.heappop(heap)
+            _, ci = pop(heap)
             st = states[ci]
             self._step(ci, st)
-            if st.pos < min(until, len(st.trace)):
-                heapq.heappush(heap, (st.clock, ci))
+            if st.pos < limits[ci]:
+                push(heap, (st.clock, ci))
 
     def _reset_measurement(self, states: list[_CoreState]) -> None:
         """Zero accumulated statistics at the warmup boundary.

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 
 @dataclass
@@ -122,10 +122,52 @@ class RunResult:
     #: Full counter snapshot from the StatsRegistry at run end (the
     #: measurement window only when the run had a warmup phase).
     registry_snapshot: dict = field(default_factory=dict, repr=False)
+    #: Scheme-specific scalars measured off the live engine object
+    #: (e.g. TreeLing utilization for Fig. 17b); attached by the
+    #: parallel execution engine because the engine itself cannot cross
+    #: a process boundary.
+    engine_metrics: dict = field(default_factory=dict)
 
     @property
     def ipcs(self) -> list[float]:
         return [c.ipc for c in self.cores]
+
+    # -- serialization -------------------------------------------------------
+    #
+    # Results cross process boundaries (parallel runner) and land in
+    # JSON artifacts; both paths must reproduce the object exactly.
+    # Pickle handles the dataclasses natively; JSON needs int dict keys
+    # and tuples restored by hand.
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict; inverse of :meth:`from_dict`."""
+        return {
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "cores": [asdict(c) for c in self.cores],
+            "engine": asdict(self.engine),
+            "per_core_path": {str(k): list(v)
+                              for k, v in self.per_core_path.items()},
+            "core_benchmarks": list(self.core_benchmarks),
+            "core_domains": list(self.core_domains),
+            "registry_snapshot": self.registry_snapshot,
+            "engine_metrics": self.engine_metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        return cls(
+            scheme=data["scheme"],
+            workload=data["workload"],
+            cores=[CoreStats(**c) for c in data["cores"]],
+            engine=EngineStats(**data["engine"]),
+            per_core_path={int(k): (v[0], v[1])
+                           for k, v in data["per_core_path"].items()},
+            core_benchmarks=list(data["core_benchmarks"]),
+            core_domains=list(data["core_domains"]),
+            registry_snapshot=data.get("registry_snapshot", {}),
+            engine_metrics=data.get("engine_metrics", {}),
+        )
 
     def path_by_benchmark(self) -> dict[str, tuple[int, int]]:
         """Aggregate (verifications, nodes_visited) per benchmark.

@@ -7,6 +7,20 @@ import pytest
 from repro.sim.config import scaled_config, tiny_config
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep every test hermetic with respect to the persistent result
+    cache: redirect it to a per-test temp dir (so no test reads stale
+    results from, or writes into, the repo's .cache/runs) and reset the
+    runner's in-process policy afterwards."""
+    from repro.experiments import parallel, runner
+    monkeypatch.setenv(parallel.CACHE_DIR_ENV, str(tmp_path / "runs"))
+    runner.configure(jobs=1, cache_dir=str(tmp_path / "runs"),
+                     use_cache=True)
+    yield
+    runner.clear_cache()
+
+
 @pytest.fixture
 def tiny():
     """Small machine: interesting cache events happen within a few
