@@ -2,11 +2,12 @@
 
 Commands
 --------
-run         simulate one workload mix under one or all schemes
-attack      run the MetaLeak demonstration
-experiment  regenerate one paper table/figure by id (fig15, tab3, ...)
-ablations   run the beyond-the-paper ablation studies
-list        show available mixes, schemes and experiment ids
+run            simulate one workload mix under one or all schemes
+attack         run the MetaLeak demonstration
+verify-oracle  differential functional-vs-timing replay + fault campaigns
+experiment     regenerate one paper table/figure by id (fig15, tab3, ...)
+ablations      run the beyond-the-paper ablation studies
+list           show available mixes, schemes and experiment ids
 """
 
 from __future__ import annotations
@@ -98,6 +99,98 @@ def _cmd_attack(args) -> int:
     from repro.experiments import fig03_attack
     fig03_attack.main(n_bits=args.bits)
     return 0
+
+
+def _cmd_verify_oracle(args) -> int:
+    """Clean lockstep replays + tamper campaigns + model-fault
+    sensitivity; exits non-zero on any disagreement, missed detection
+    or false alarm (the CI ``oracle-smoke`` gate)."""
+    import json
+    import os
+
+    from repro.attacks.faultinject import (campaign_cache,
+                                           default_campaign_specs,
+                                           detection_matrix,
+                                           model_fault_matrix,
+                                           run_campaigns)
+    from repro.experiments.parallel import default_jobs
+    from repro.sim.oracle import DEFAULT_SCHEMES, verify_scheme
+    from repro.sim.provenance import run_manifest
+
+    schemes = (DEFAULT_SCHEMES if args.schemes == "all"
+               else tuple(args.schemes.split(",")))
+    mixes = tuple(args.mixes.split(","))
+    accesses = 400 if args.quick else args.accesses
+    ok = True
+
+    print(f"{'scheme':18s} {'mix':5s} {'ops':>6s} {'ckpts':>5s}  "
+          f"clean-replay")
+    clean = {}
+    for scheme in schemes:
+        for mix in mixes:
+            rep = verify_scheme(scheme, mix, n_accesses=accesses,
+                                seed=args.seed,
+                                overflow_writes_per_page=48)
+            clean[f"{scheme}/{mix}"] = rep.to_dict()
+            ok &= rep.ok
+            status = ("agree" if rep.ok
+                      else f"{len(rep.disagreements)} DISAGREEMENT(S)")
+            print(f"{scheme:18s} {mix:5s} {rep.ops:6d} "
+                  f"{rep.checkpoints:5d}  {status}")
+            for d in rep.disagreements[:5]:
+                print(f"    [ckpt {d.checkpoint}] {d.kind}: {d.detail}")
+
+    jobs = args.jobs if args.jobs else default_jobs()
+    cache = None
+    if not args.no_cache:
+        root = (os.path.join(args.cache_dir, "campaigns")
+                if args.cache_dir else None)
+        cache = campaign_cache(root)
+    specs = default_campaign_specs(schemes=schemes, mixes=mixes,
+                                   seed=args.seed, n_accesses=accesses)
+    results = run_campaigns(specs, jobs=jobs, cache=cache)
+    matrix = detection_matrix(results)
+    ok &= matrix["ok"]
+    print("\ntamper detection matrix (detected/injected over "
+          f"{len(results)} campaigns):")
+    for kind, (inj, det) in sorted(matrix["by_kind"].items()):
+        print(f"  {kind:20s} {det:4d}/{inj:<4d} "
+              f"{'ok' if inj == det else 'MISSED'}")
+    print(f"  clean probes: {matrix['clean_probes']}, "
+          f"false positives: {matrix['false_positives']}")
+    for line in matrix["failures"] + matrix["disagreements"]:
+        print(f"  !! {line}")
+
+    sensitivity = {}
+    if not args.skip_model_faults:
+        print("\nmodel-fault sensitivity (the oracle must flag each):")
+        for scheme in ("baseline", "ivleague-basic"):
+            caught = model_fault_matrix(scheme)
+            sensitivity[scheme] = caught
+            for fault, hit in caught.items():
+                ok &= hit
+                print(f"  {scheme:18s} {fault:20s} "
+                      f"{'caught' if hit else 'NOT CAUGHT'}")
+
+    if args.report:
+        payload = {
+            "manifest": run_manifest(seed=args.seed,
+                                     schemes=list(schemes),
+                                     mixes=list(mixes),
+                                     accesses=accesses),
+            "ok": ok,
+            "clean_replays": clean,
+            "campaigns": [r.to_dict() for r in results],
+            "detection_matrix": matrix,
+            "model_fault_sensitivity": sensitivity,
+        }
+        parent = os.path.dirname(os.path.abspath(args.report))
+        os.makedirs(parent, exist_ok=True)
+        with open(args.report, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+        print(f"\nwrote oracle report to {args.report}")
+    print("\nverify-oracle:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
 
 
 _EXPERIMENTS = {
@@ -216,6 +309,28 @@ def build_parser() -> argparse.ArgumentParser:
     atk = sub.add_parser("attack", help="MetaLeak demonstration")
     atk.add_argument("--bits", type=int, default=128)
     atk.set_defaults(func=_cmd_attack)
+
+    vor = sub.add_parser(
+        "verify-oracle",
+        help="replay streams through timing engines and the functional "
+             "model in lockstep; run tamper + model-fault campaigns")
+    vor.add_argument("--quick", action="store_true",
+                     help="short streams (the CI smoke configuration)")
+    vor.add_argument("--schemes", default="all", metavar="S1,S2",
+                     help="comma-separated scheme list (default: the "
+                          "five evaluated schemes)")
+    vor.add_argument("--mixes", default="S-1,M-2", metavar="M1,M2",
+                     help="comma-separated Table II mix ids")
+    vor.add_argument("--accesses", type=int, default=1200,
+                     help="stream length per core (400 with --quick)")
+    vor.add_argument("--seed", type=int, default=0)
+    vor.add_argument("--report", default=None, metavar="PATH",
+                     help="write the full JSON report (clean replays, "
+                          "detection matrix, sensitivity) to PATH")
+    vor.add_argument("--skip-model-faults", action="store_true",
+                     help="skip the engine-bug sensitivity arm")
+    _add_runner_flags(vor)
+    vor.set_defaults(func=_cmd_verify_oracle)
 
     exp = sub.add_parser("experiment", help="regenerate a table/figure")
     exp.add_argument("id", help="e.g. fig15, fig3, tab3")

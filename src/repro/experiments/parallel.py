@@ -41,7 +41,8 @@ from repro.sim.stats import RunResult
 #: Bumped whenever the pickled payload layout (RunResult/CoreStats/
 #: EngineStats fields, Cell fields, payload envelope) changes, so stale
 #: cache entries from an older code schema are never deserialised.
-CACHE_SCHEMA_VERSION = 1
+#: v2: EngineStats.page_reencrypts.
+CACHE_SCHEMA_VERSION = 2
 
 #: Default persistent cache location, overridable per-process.
 DEFAULT_CACHE_DIR = os.path.join(".cache", "runs")
@@ -206,8 +207,14 @@ class ResultCache:
     re-simulated.  A corrupted cache can cost time, never correctness.
     """
 
-    def __init__(self, root: str | os.PathLike | None = None) -> None:
+    #: Outcome types a payload may legally carry; other callers (e.g.
+    #: the fault-injection campaigns) pass their own result types.
+    DEFAULT_PAYLOAD_TYPES = (RunResult, CellFailure)
+
+    def __init__(self, root: str | os.PathLike | None = None,
+                 payload_types: tuple[type, ...] | None = None) -> None:
         self.root = Path(root if root is not None else default_cache_dir())
+        self.payload_types = payload_types or self.DEFAULT_PAYLOAD_TYPES
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -227,7 +234,7 @@ class ResultCache:
                     or payload.get("key") != key):
                 raise ValueError("stale or foreign cache envelope")
             outcome = payload["outcome"]
-            if not isinstance(outcome, (RunResult, CellFailure)):
+            if not isinstance(outcome, self.payload_types):
                 raise TypeError("unexpected payload type")
         except FileNotFoundError:
             self.misses += 1
@@ -296,6 +303,52 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+def execute_tasks(specs: Sequence, worker, key_fn, jobs: int = 1,
+                  cache: ResultCache | None = None) -> list:
+    """Generic fan-out: run ``worker(spec)`` for every spec through the
+    persistent cache.
+
+    ``worker`` must be a picklable module-level callable and every spec
+    picklable (they cross the process boundary); ``key_fn(spec)`` is the
+    content-hash identity used for dedupe and cache addressing.  This is
+    the machinery under :func:`execute` (simulation cells) and the
+    fault-injection campaign runner — any deterministic, embarrassingly
+    parallel sweep can ride it.
+    """
+    keys = [key_fn(spec) for spec in specs]
+    outcomes: dict[str, object] = {}
+    pending: list[tuple[str, object]] = []
+    seen: set[str] = set()
+    for key, spec in zip(keys, specs):
+        if key in seen:
+            continue
+        seen.add(key)
+        hit = cache.get(key) if cache is not None else None
+        if hit is not None:
+            outcomes[key] = hit
+        else:
+            pending.append((key, spec))
+
+    if pending:
+        if jobs <= 1 or len(pending) == 1:
+            fresh = [(key, worker(spec)) for key, spec in pending]
+        else:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=_pool_context()) as pool:
+                futures = [(key, pool.submit(worker, spec))
+                           for key, spec in pending]
+                fresh = [(key, fut.result()) for key, fut in futures]
+        for (key, spec), (_, outcome) in zip(pending, fresh):
+            outcomes[key] = outcome
+            if cache is not None:
+                cache.put(key, outcome,
+                          spec if isinstance(spec, Cell) else None)
+
+    return [outcomes[key] for key in keys]
+
+
 def execute(cells: Sequence[Cell], jobs: int = 1,
             cache: ResultCache | None = None) -> list:
     """Run every cell, in parallel, through the persistent cache.
@@ -305,37 +358,7 @@ def execute(cells: Sequence[Cell], jobs: int = 1,
     ``jobs<=1`` runs in-process; otherwise misses fan out over a
     ``ProcessPoolExecutor`` with ``min(jobs, misses)`` workers.
     """
-    keys = [cell_key(c) for c in cells]
-    outcomes: dict[str, object] = {}
-    pending: list[tuple[str, Cell]] = []
-    seen: set[str] = set()
-    for key, cell in zip(keys, cells):
-        if key in seen:
-            continue
-        seen.add(key)
-        hit = cache.get(key) if cache is not None else None
-        if hit is not None:
-            outcomes[key] = hit
-        else:
-            pending.append((key, cell))
-
-    if pending:
-        if jobs <= 1 or len(pending) == 1:
-            fresh = [(key, run_cell(cell)) for key, cell in pending]
-        else:
-            workers = min(jobs, len(pending))
-            with ProcessPoolExecutor(
-                    max_workers=workers,
-                    mp_context=_pool_context()) as pool:
-                futures = [(key, pool.submit(run_cell, cell))
-                           for key, cell in pending]
-                fresh = [(key, fut.result()) for key, fut in futures]
-        for (key, cell), (_, outcome) in zip(pending, fresh):
-            outcomes[key] = outcome
-            if cache is not None:
-                cache.put(key, outcome, cell)
-
-    return [outcomes[key] for key in keys]
+    return execute_tasks(cells, run_cell, cell_key, jobs=jobs, cache=cache)
 
 
 def scale_cell(mix: str, scheme: str, sc,

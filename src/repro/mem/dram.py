@@ -26,7 +26,11 @@ class DRAMStats:
     writes: int = 0
     row_hits: int = 0
     row_misses: int = 0
-    total_read_latency: int = 0
+    #: Accumulated as a float: queueing delay behind a busy bank makes
+    #: individual read latencies fractional, and truncating each sample
+    #: to int made ``avg_read_latency`` systematically disagree with the
+    #: ``hist.mc`` read histograms fed the same (untruncated) values.
+    total_read_latency: float = 0.0
 
     @property
     def row_hit_rate(self) -> float:
@@ -83,7 +87,11 @@ class DRAM:
         cfg = self.config
         bank, row = self.bank_and_row(addr)
         start = max(now, self._busy_until[bank])
-        if self._open_row[bank] == row:
+        # Explicit hit flag: inferring it back from ``latency ==
+        # row_hit_latency`` mislabels hits whenever the configured
+        # latencies coincide (e.g. t_rp = t_rcd = 0 sweeps).
+        hit = self._open_row[bank] == row
+        if hit:
             latency = cfg.row_hit_latency
             self.stats.row_hits += 1
         else:
@@ -94,15 +102,14 @@ class DRAM:
         # The bank stays occupied for the burst only; the next row hit can
         # pipeline behind the column access.
         self._busy_until[bank] = start + cfg.t_burst + (
-            0 if latency == cfg.row_hit_latency else cfg.t_rp + cfg.t_rcd)
+            0 if hit else cfg.t_rp + cfg.t_rcd)
         total = finish - now
         self.stats.reads += 1
-        self.stats.total_read_latency += int(total)
+        self.stats.total_read_latency += total
         if self.tracer.enabled:
             self.tracer.complete(
                 "dram", "read", ts=now, dur=total, bank=bank, row=row,
-                row_hit=latency == cfg.row_hit_latency,
-                space=space_of(addr))
+                row_hit=hit, space=space_of(addr))
         return total
 
     def write(self, addr: int, now: float) -> None:
@@ -110,7 +117,8 @@ class DRAM:
         cfg = self.config
         bank, row = self.bank_and_row(addr)
         start = max(now, self._busy_until[bank])
-        if self._open_row[bank] == row:
+        hit = self._open_row[bank] == row
+        if hit:
             occupancy = cfg.t_burst
             self.stats.row_hits += 1
         else:
@@ -122,4 +130,4 @@ class DRAM:
         if self.tracer.enabled:
             self.tracer.instant(
                 "dram", "write", ts=now, bank=bank, row=row,
-                row_hit=occupancy == cfg.t_burst, space=space_of(addr))
+                row_hit=hit, space=space_of(addr))

@@ -58,6 +58,10 @@ class SecureMemoryEngine(ABC):
         # Per-domain (verifications, nodes_visited) for Fig. 16.
         self.domain_path: dict[int, list[int]] = {}
         self._page_writes: dict[int, int] = {}
+        #: Writes to one page between modelled minor-counter overflows;
+        #: instance-level so tests (and the differential oracle's fault
+        #: campaigns) can force or suppress overflows per engine.
+        self.overflow_writes_per_page = OVERFLOW_WRITES_PER_PAGE
 
     # -- hooks for subclasses ------------------------------------------------------
 
@@ -229,20 +233,39 @@ class SecureMemoryEngine(ABC):
         self._mac_access(pfn, block_in_page, now, dirty=True)
         self._mwrite(self.data_addr(pfn, block_in_page), now)
         writes = self._page_writes.get(pfn, 0) + 1
-        if writes >= OVERFLOW_WRITES_PER_PAGE:
+        if writes >= self.overflow_writes_per_page:
             writes = 0
-            self._reencrypt_page(pfn, now)
+            self._reencrypt_page(domain, pfn, now)
         self._page_writes[pfn] = writes
 
-    def _reencrypt_page(self, pfn: int, now: float) -> None:
+    def _counter_addr(self, pfn: int) -> int:
+        """Tagged address of the page's counter block (identical across
+        schemes: one counter block per page, densely indexed by PFN)."""
+        return spaces.tag(spaces.COUNTER, pfn)
+
+    def _reencrypt_page(self, domain: int, pfn: int, now: float) -> None:
         """Minor-counter overflow: stream the page through the crypto
-        engine (posted reads+writes; rare, so modelled without stall)."""
+        engine (posted reads+writes; rare, so modelled without stall).
+
+        Beyond the data burst, the overflow changes the page's counter
+        block (major bump, minors reset), so the counter block must be
+        written back and the integrity-tree path above it updated -- the
+        functional model always did this (``CounterStore.increment``
+        flags the overflow and the BMT refreshes the path), but the
+        timing engines only charged the data traffic, under-reporting
+        metadata writes on write-heavy workloads.
+        """
+        self.stats.page_reencrypts += 1
         if self.tracer.enabled:
             self.tracer.instant("page", "reencrypt", ts=now, pfn=pfn)
         for b in range(0, BLOCKS_PER_PAGE, 8):
             addr = self.data_addr(pfn, b)
             self._mread(addr, now)
             self._mwrite(addr, now)
+        # Counter write-back + dirty tree-path update (scheme-specific
+        # walk: partition offsets, TreeLing slots, VAULT arities).
+        self._mwrite(self._counter_addr(pfn), now)
+        self._verify_path(domain, pfn, now, for_write=True)
 
     # -- page / domain lifecycle (overridden by IvLeague) ---------------------------------
 

@@ -59,13 +59,18 @@ class LatencyHistogram:
     # -- recording ----------------------------------------------------------
 
     def record(self, value) -> None:
+        if value < 0:
+            value = 0
         v = int(value)
-        if v < 0:
-            v = 0
         idx = self._index(v)
         self.counts[idx] = self.counts.get(idx, 0) + 1
         self.count += 1
-        self.total += v
+        # Bucketing quantises to int, but the sum keeps the exact sample
+        # value: fractional latencies (DRAM queueing delay) must yield a
+        # mean that agrees with float accumulators elsewhere (e.g.
+        # ``DRAMStats.total_read_latency``) instead of drifting low by
+        # up to one cycle.
+        self.total += value
         if self.min is None or v < self.min:
             self.min = v
         if self.max is None or v > self.max:
@@ -191,7 +196,8 @@ class HistogramSet:
             if field == "count":
                 h.count = int(val)
             elif field == "sum":
-                h.total = int(val)
+                # Sums may be fractional (exact float accumulation).
+                h.total = val
             elif field.startswith("b"):
                 try:
                     idx = int(field[1:])

@@ -16,7 +16,9 @@ from datetime import datetime, timezone
 from typing import Optional
 
 #: Bumped whenever the manifest or --dump-stats payload layout changes.
-STATS_SCHEMA_VERSION = 1
+#: v2: EngineStats.page_reencrypts, float histogram sums, float
+#: DRAMStats.total_read_latency.
+STATS_SCHEMA_VERSION = 2
 
 
 def config_hash(config) -> str:

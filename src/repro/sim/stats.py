@@ -58,6 +58,9 @@ class EngineStats:
     nflb_misses: int = 0
     page_allocs: int = 0
     page_frees: int = 0
+    #: Minor-counter overflow events: the whole page streamed through
+    #: the crypto engine plus a counter write-back and a tree update.
+    page_reencrypts: int = 0
     hot_migrations: int = 0
     hot_demotions: int = 0
     conversions: int = 0     # Invert slot-to-parent conversions

@@ -51,6 +51,7 @@ CATEGORIES = frozenset({
     "page",      # page lifecycle (fault, free, re-encryption, migration)
     "nfl",       # node-free-list block touches
     "sim",       # simulator-scope events (churn windows, ...)
+    "fault",     # oracle fault campaigns: injections, detections, misses
 })
 
 _SPAN_PHASES = frozenset({"B", "E"})

@@ -295,6 +295,57 @@ class TestProSpecifics:
             assert not e._is_hot_local(local)
 
 
+ALL_SCHEMES = ["baseline", "vault", "sgx-counter-tree", "static-partition",
+               "ivleague-basic", "ivleague-invert", "ivleague-pro",
+               "ivleague-bv1", "ivleague-bv2"]
+
+
+class TestOverflowCharging:
+    """Minor-counter overflow must charge, in *every* engine: the
+    re-encrypt data burst, the counter write-back, and the dirty
+    tree-path update (one extra ``_verify_path`` call)."""
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_overflow_charges_metadata_and_tree_update(self, tiny, scheme):
+        from repro.experiments.parallel import resolve_engine
+
+        e = resolve_engine(scheme)(tiny)
+        e.overflow_writes_per_page = 4
+        e.on_domain_start(1)
+        frame_range = getattr(e, "frame_range", None)
+        pfn = frame_range(1)[0] if frame_range else 5
+        e.on_page_alloc(1, pfn, 0.0)
+        for i in range(3):
+            e.handle_writeback(1, pfn, i, float(i) * 10)
+        assert e.stats.page_reencrypts == 0
+        data_reads = e.stats.dram_data_reads
+        meta_writes = e.stats.dram_metadata_writes
+        ctr_accesses = e.stats.counter_hits + e.stats.counter_misses
+        e.handle_writeback(1, pfn, 3, 100.0)   # fourth write: overflow
+        assert e.stats.page_reencrypts == 1
+        # the page streamed through the crypto engine
+        assert e.stats.dram_data_reads > data_reads
+        # the changed counter block was written back
+        assert e.stats.dram_metadata_writes >= meta_writes + 1
+        # the write-back's verify plus the overflow's dirty tree update
+        assert (e.stats.counter_hits + e.stats.counter_misses
+                == ctr_accesses + 2)
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_overflow_resets_page_write_count(self, tiny, scheme):
+        from repro.experiments.parallel import resolve_engine
+
+        e = resolve_engine(scheme)(tiny)
+        e.overflow_writes_per_page = 3
+        e.on_domain_start(1)
+        frame_range = getattr(e, "frame_range", None)
+        pfn = frame_range(1)[0] if frame_range else 5
+        e.on_page_alloc(1, pfn, 0.0)
+        for i in range(9):
+            e.handle_writeback(1, pfn, i % 64, float(i) * 10)
+        assert e.stats.page_reencrypts == 3
+
+
 class TestBVEngines:
     def test_bv1_runs_small_footprint(self, tiny):
         e = IvLeagueBVv1Engine(tiny)

@@ -1,0 +1,140 @@
+"""Tests for the tamper-injection campaigns
+(:mod:`repro.attacks.faultinject`): full detection with zero false
+alarms on a small grid, heal (snapshot/restore) correctness, and
+determinism/cacheability through the parallel runner."""
+
+import pytest
+
+from repro.attacks.faultinject import (TAMPER_KINDS, CampaignSpec,
+                                       TamperCampaign, _flip_bit,
+                                       _restore, _snapshot, campaign_key,
+                                       default_campaign_specs,
+                                       detection_matrix, run_campaign,
+                                       run_campaigns)
+from repro.secure.functional import (FunctionalSecureMemory,
+                                     IntegrityViolation)
+
+SMOKE_SPEC = CampaignSpec(scheme="baseline", mix="S-1", seed=0,
+                          n_accesses=300, checkpoint_every=50,
+                          tampers_per_checkpoint=2)
+
+
+class TestDetectionMatrix:
+    @pytest.mark.parametrize("scheme", ["baseline", "ivleague-basic"])
+    def test_every_tamper_detected_no_false_alarms(self, scheme):
+        spec = CampaignSpec(scheme=scheme, mix="S-1", seed=0,
+                            n_accesses=300, checkpoint_every=50,
+                            tampers_per_checkpoint=2)
+        res = run_campaign(spec)
+        assert res.failure is None
+        assert res.ok, (res.detection, res.faults, res.disagreements)
+        # enough checkpoints to rotate through every tamper kind
+        assert all(inj > 0 for inj, _ in res.detection.values()), \
+            res.detection
+        assert all(inj == det for inj, det in res.detection.values())
+        assert res.faults["missed"] == 0
+        assert res.faults["false_positives"] == 0
+        assert res.faults["clean_probes"] > 0
+
+    def test_matrix_aggregation(self):
+        results = run_campaigns([SMOKE_SPEC], jobs=1, cache=None)
+        matrix = detection_matrix(results)
+        assert matrix["ok"]
+        assert set(matrix["by_kind"]) == set(TAMPER_KINDS)
+        assert matrix["false_positives"] == 0
+        assert not matrix["failures"] and not matrix["disagreements"]
+
+    def test_matrix_flags_missed_detection(self):
+        res = run_campaign(SMOKE_SPEC)
+        res.detection["replay"][1] -= 1   # simulate one missed replay
+        assert not res.ok
+        assert not detection_matrix([res])["ok"]
+
+    def test_default_grid_covers_schemes_and_mixes(self):
+        specs = default_campaign_specs(schemes=("baseline", "vault"),
+                                       mixes=("S-1",), n_accesses=100)
+        assert len(specs) == 2
+        assert {s.scheme for s in specs} == {"baseline", "vault"}
+        assert all(s.n_accesses == 100 for s in specs)
+
+
+class TestHeal:
+    def _written_fsm(self):
+        fsm = FunctionalSecureMemory(64, key=b"heal-test-key-0123456789")
+        fsm.write(3, 0, b"A" * 64)
+        fsm.write(3, 1, b"B" * 64)
+        return fsm
+
+    def test_snapshot_restore_roundtrip_after_ciphertext_flip(self):
+        import numpy as np
+        fsm = self._written_fsm()
+        snap = _snapshot(fsm, 3, 0)
+        rng = np.random.default_rng(1)
+        fsm.adversary_spoof(3, 0, _flip_bit(fsm.dram.read(snap.addr),
+                                            rng))
+        with pytest.raises(IntegrityViolation):
+            fsm.read(3, 0)
+        _restore(fsm, snap)
+        assert fsm.read(3, 0) == b"A" * 64
+
+    def test_snapshot_restore_roundtrip_after_counter_forge(self):
+        fsm = self._written_fsm()
+        snap = _snapshot(fsm, 3, 1)
+        cb = fsm.counters.block(3)
+        fsm.tree.tamper_counter(3, 1, cb.minors[1] + 1)
+        with pytest.raises(IntegrityViolation):
+            fsm.read(3, 1)
+        _restore(fsm, snap)
+        assert fsm.read(3, 1) == b"B" * 64
+
+    def test_flip_bit_changes_exactly_one_bit(self):
+        import numpy as np
+        raw = bytes(range(64))
+        flipped = _flip_bit(raw, np.random.default_rng(2))
+        diff = [a ^ b for a, b in zip(raw, flipped)]
+        changed = [d for d in diff if d]
+        assert len(changed) == 1
+        assert bin(changed[0]).count("1") == 1
+
+    def test_unknown_tamper_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TamperCampaign(kinds=("bitflip-ciphertext", "gamma-ray"))
+
+
+class TestDeterminismAndCaching:
+    def test_campaign_is_deterministic(self):
+        a = run_campaign(SMOKE_SPEC).to_dict()
+        b = run_campaign(SMOKE_SPEC).to_dict()
+        assert a == b
+
+    def test_campaign_key_separates_specs(self):
+        k0 = campaign_key(SMOKE_SPEC)
+        assert k0 == campaign_key(CampaignSpec(**{
+            **SMOKE_SPEC.__dict__}))
+        k1 = campaign_key(CampaignSpec(scheme="baseline", mix="S-1",
+                                       seed=1, n_accesses=300,
+                                       checkpoint_every=50,
+                                       tampers_per_checkpoint=2))
+        assert k0 != k1
+
+    def test_campaigns_ride_the_result_cache(self, tmp_path):
+        from repro.experiments.parallel import ResultCache
+        from repro.attacks.faultinject import CampaignResult
+
+        cache = ResultCache(str(tmp_path / "campaigns"),
+                            payload_types=(CampaignResult,))
+        first = run_campaigns([SMOKE_SPEC], jobs=1, cache=cache)
+        assert cache.misses == 1 and cache.stores == 1
+        second = run_campaigns([SMOKE_SPEC], jobs=1, cache=cache)
+        assert cache.hits == 1
+        assert first[0].to_dict() == second[0].to_dict()
+
+
+class TestModelFaultMatrix:
+    def test_oracle_catches_every_injected_engine_bug(self):
+        from repro.attacks.faultinject import model_fault_matrix
+        from repro.sim.oracle import MODEL_FAULTS
+
+        caught = model_fault_matrix("baseline")
+        assert set(caught) == set(MODEL_FAULTS)
+        assert all(caught.values()), caught
