@@ -244,18 +244,17 @@ class IvLeagueBasicEngine(SecureMemoryEngine):
 
     def _verify_path(self, domain: int, pfn: int, now: float,
                      for_write: bool) -> float:
-        sec = self.config.secure
         if pfn not in self.leafmap:
             # Late write-back of a block whose page was already freed: the
             # slot was reclaimed on free, so there is nothing to verify.
             return 0.0
         tracing = self.tracer.enabled
-        ctr_addr = spaces.tag(spaces.COUNTER, pfn)
+        ctr_addr = self._ctr_base | pfn
         if self.counter_cache.lookup(ctr_addr, is_write=for_write):
             self.stats.counter_hits += 1
             if tracing:
                 self.tracer.instant("tree", "counter_hit", ts=now, pfn=pfn)
-            return float(sec.counter_cache.hit_latency)
+            return self._ctr_hit_lat
         self.stats.counter_misses += 1
         if tracing:
             self.tracer.instant("tree", "counter_miss", ts=now, pfn=pfn)
@@ -278,7 +277,7 @@ class IvLeagueBasicEngine(SecureMemoryEngine):
                 self.tracer.instant("tree", "node", ts=clock,
                                     level=ref.level + off, addr=addr,
                                     treeling=ref.treeling)
-            clock += self._mread(addr, clock) + sec.hash_latency
+            clock += self._mread(addr, clock) + self._hash_lat
             self._fill(tree_cache, addr, clock, dirty=for_write)
         # level > height: verified against the locked (on-chip) parent of
         # the TreeLing root -- no in-memory sharing with other domains.

@@ -51,6 +51,10 @@ class Cache:
         self.stats = Counter()
         self.evictions = 0
         self.writebacks = 0
+        #: Number of locked entries across all sets.  Locking is rare
+        #: (TreeLing root pinning); while the count is zero the victim
+        #: pick is simply the LRU head, no per-entry locked scan.
+        self._locked = 0
 
     # -- mapping ------------------------------------------------------------
 
@@ -63,8 +67,12 @@ class Cache:
         return addr in self._sets[self.set_index(addr)]
 
     def lookup(self, addr: int, is_write: bool = False) -> bool:
-        """Probe the cache; updates LRU and stats.  Returns hit/miss."""
-        s = self._sets[self.set_index(addr)]
+        """Probe the cache; updates LRU and stats.  Returns hit/miss.
+
+        ``set_index`` is inlined (subclasses with a different mapping
+        override ``lookup`` wholesale, so the shortcut is safe).
+        """
+        s = self._sets[addr % self.n_sets]
         entry = s.get(addr)
         if entry is None:
             self.stats.misses += 1
@@ -85,18 +93,23 @@ class Cache:
         locked, the fill is dropped (callers lock at most a bounded number
         of blocks, so this only happens in adversarial unit tests).
         """
-        s = self._sets[self.set_index(addr)]
+        s = self._sets[addr % self.n_sets]
         entry = s.get(addr)
         if entry is not None:
             entry[0] = entry[0] or dirty
-            entry[1] = entry[1] or locked
+            if locked and not entry[1]:
+                entry[1] = True
+                self._locked += 1
             s.move_to_end(addr)
             return None
         victim = None
         if len(s) >= self.assoc:
-            victim = self._pick_victim(s)
-            if victim is None:
-                return None  # fully locked set: drop the fill
+            if self._locked:
+                victim = self._pick_victim(s)
+                if victim is None:
+                    return None  # fully locked set: drop the fill
+            else:
+                victim = next(iter(s))  # LRU head; nothing is locked
             vdirty = s.pop(victim)[0]
             self.evictions += 1
             if vdirty:
@@ -105,6 +118,8 @@ class Cache:
                 self.tracer.instant("cache", "evict", cache=self.name,
                                     addr=victim, dirty=vdirty)
             victim = Eviction(victim, vdirty)
+        if locked:
+            self._locked += 1
         s[addr] = [dirty, locked]
         return victim
 
@@ -116,13 +131,21 @@ class Cache:
 
     def invalidate(self, addr: int) -> bool:
         s = self._sets[self.set_index(addr)]
-        return s.pop(addr, None) is not None
+        entry = s.pop(addr, None)
+        if entry is None:
+            return False
+        if entry[1]:
+            self._locked -= 1
+        return True
 
     def lock(self, addr: int) -> None:
         """Pin ``addr`` so it can never be evicted (TreeLing root locking)."""
         s = self._sets[self.set_index(addr)]
-        if addr in s:
-            s[addr][1] = True
+        entry = s.get(addr)
+        if entry is not None:
+            if not entry[1]:
+                entry[1] = True
+                self._locked += 1
         else:
             self.fill(addr, locked=True)
 

@@ -54,6 +54,17 @@ class DRAM:
         self._busy_until = [0.0] * n
         self.stats = DRAMStats()
         self._blocks_per_row = config.row_bytes // 64
+        # (bank, row) is a pure function of the address; the working set
+        # of distinct block addresses is bounded by the workload
+        # footprint, so the mapping is memoized off the hot path.
+        self._br_memo: dict[int, tuple[int, int]] = {}
+        # The timing scalars are fixed for the device's lifetime; the
+        # config exposes them as properties, which are too slow to
+        # re-evaluate per request.
+        self._hit_lat = config.row_hit_latency
+        self._miss_lat = config.row_miss_latency
+        self._t_burst = config.t_burst
+        self._miss_occupancy = config.t_rp + config.t_rcd + config.t_burst
 
     def register_stats(self, registry, name: str = "dram") -> None:
         """Register device-level counters (open-row state is not a stat)."""
@@ -69,43 +80,48 @@ class DRAM:
         The address-space tag participates in the hash so metadata regions
         spread over all banks rather than piling onto bank 0.
         """
-        blk = block_of(addr)
-        spc = space_of(addr)
-        cfg = self.config
-        channel = (blk ^ spc) % cfg.channels
-        row_global = blk // self._blocks_per_row
-        banks_per_channel = cfg.ranks_per_channel * cfg.banks_per_rank
-        bank_in_channel = (row_global ^ (spc * 7)) % banks_per_channel
-        bank = channel * banks_per_channel + bank_in_channel
-        row = row_global // banks_per_channel
-        return bank, row
+        br = self._br_memo.get(addr)
+        if br is None:
+            blk = block_of(addr)
+            spc = space_of(addr)
+            cfg = self.config
+            channel = (blk ^ spc) % cfg.channels
+            row_global = blk // self._blocks_per_row
+            banks_per_channel = cfg.ranks_per_channel * cfg.banks_per_rank
+            bank_in_channel = (row_global ^ (spc * 7)) % banks_per_channel
+            bank = channel * banks_per_channel + bank_in_channel
+            row = row_global // banks_per_channel
+            br = self._br_memo[addr] = (bank, row)
+        return br
 
     # -- accesses ------------------------------------------------------------
 
     def read(self, addr: int, now: float) -> float:
         """Issue a read at ``now``; returns its latency in cycles."""
-        cfg = self.config
-        bank, row = self.bank_and_row(addr)
-        start = max(now, self._busy_until[bank])
+        br = self._br_memo.get(addr)
+        bank, row = br if br is not None else self.bank_and_row(addr)
+        busy = self._busy_until[bank]
+        start = now if now >= busy else busy
         # Explicit hit flag: inferring it back from ``latency ==
         # row_hit_latency`` mislabels hits whenever the configured
         # latencies coincide (e.g. t_rp = t_rcd = 0 sweeps).
-        hit = self._open_row[bank] == row
-        if hit:
-            latency = cfg.row_hit_latency
-            self.stats.row_hits += 1
+        stats = self.stats
+        if self._open_row[bank] == row:
+            latency = self._hit_lat
+            stats.row_hits += 1
+            # The bank stays occupied for the burst only; the next row
+            # hit can pipeline behind the column access.
+            self._busy_until[bank] = start + self._t_burst
+            hit = True
         else:
-            latency = cfg.row_miss_latency
-            self.stats.row_misses += 1
+            latency = self._miss_lat
+            stats.row_misses += 1
             self._open_row[bank] = row
-        finish = start + latency
-        # The bank stays occupied for the burst only; the next row hit can
-        # pipeline behind the column access.
-        self._busy_until[bank] = start + cfg.t_burst + (
-            0 if hit else cfg.t_rp + cfg.t_rcd)
-        total = finish - now
-        self.stats.reads += 1
-        self.stats.total_read_latency += total
+            self._busy_until[bank] = start + self._miss_occupancy
+            hit = False
+        total = start + latency - now
+        stats.reads += 1
+        stats.total_read_latency += total
         if self.tracer.enabled:
             self.tracer.complete(
                 "dram", "read", ts=now, dur=total, bank=bank, row=row,
@@ -114,19 +130,21 @@ class DRAM:
 
     def write(self, addr: int, now: float) -> None:
         """Posted write: occupies the bank but does not stall the caller."""
-        cfg = self.config
-        bank, row = self.bank_and_row(addr)
-        start = max(now, self._busy_until[bank])
-        hit = self._open_row[bank] == row
-        if hit:
-            occupancy = cfg.t_burst
+        br = self._br_memo.get(addr)
+        bank, row = br if br is not None else self.bank_and_row(addr)
+        busy = self._busy_until[bank]
+        start = now if now >= busy else busy
+        stats = self.stats
+        if self._open_row[bank] == row:
             self.stats.row_hits += 1
+            self._busy_until[bank] = start + self._t_burst
+            hit = True
         else:
-            occupancy = cfg.t_rp + cfg.t_rcd + cfg.t_burst
-            self.stats.row_misses += 1
+            stats.row_misses += 1
             self._open_row[bank] = row
-        self._busy_until[bank] = start + occupancy
-        self.stats.writes += 1
+            self._busy_until[bank] = start + self._miss_occupancy
+            hit = False
+        stats.writes += 1
         if self.tracer.enabled:
             self.tracer.instant(
                 "dram", "write", ts=now, bank=bank, row=row,

@@ -11,9 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.mem.dram import DRAM
-from repro.mem.spaces import is_metadata
+from repro.mem.spaces import DATA, SPACE_SHIFT
 from repro.sim.config import DRAMConfig
 from repro.sim.hist import HistogramSet
+
+#: Tagged addresses at or above this value live in a metadata space
+#: (``spaces.DATA`` is space 0, so the comparison replaces the
+#: ``is_metadata`` call on the controller's per-request hot path).
+_METADATA_BASE = (DATA + 1) << SPACE_SHIFT
 
 
 @dataclass
@@ -70,17 +75,19 @@ class MemoryController:
             lambda: self.dram.stats.reads + self.dram.stats.writes)
 
     def read(self, addr: int, now: float) -> float:
-        meta = is_metadata(addr)
-        if meta:
-            self.traffic.metadata_reads += 1
+        traffic = self.traffic
+        if addr >= _METADATA_BASE:
+            traffic.metadata_reads += 1
+            lat = self.dram.read(addr, now)
+            self._h_meta.record(lat)
         else:
-            self.traffic.data_reads += 1
-        lat = self.dram.read(addr, now)
-        (self._h_meta if meta else self._h_data).record(lat)
+            traffic.data_reads += 1
+            lat = self.dram.read(addr, now)
+            self._h_data.record(lat)
         return lat
 
     def write(self, addr: int, now: float) -> None:
-        if is_metadata(addr):
+        if addr >= _METADATA_BASE:
             self.traffic.metadata_writes += 1
         else:
             self.traffic.data_writes += 1

@@ -43,6 +43,11 @@ class MirageCache(Cache):
         self._rng = np.random.default_rng(seed)
         self._key0 = int(self._rng.integers(1, 2**63))
         self._key1 = int(self._rng.integers(1, 2**63))
+        # The keyed hashes are pure functions of the address, and the
+        # address working set is bounded by the workload footprint, so
+        # both skew indices are memoized (the double splitmix64 was the
+        # single hottest pure computation in a cold cell).
+        self._cand: dict[int, tuple[int, int]] = {}
         # Power-of-two-choices placement balance (how often each skew
         # won); the spread is a cheap health check on the keyed hashes.
         self.skew0_fills = 0
@@ -52,8 +57,12 @@ class MirageCache(Cache):
     # fill time by load (power of two choices), remembered via lookup in
     # both candidates.
     def _candidates(self, addr: int) -> tuple[int, int]:
-        return (_mix(addr, self._key0) % self.n_sets,
+        cand = self._cand.get(addr)
+        if cand is None:
+            cand = self._cand[addr] = (
+                _mix(addr, self._key0) % self.n_sets,
                 _mix(addr, self._key1) % self.n_sets)
+        return cand
 
     def set_index(self, addr: int) -> int:  # pragma: no cover - unused path
         return self._candidates(addr)[0]
@@ -63,13 +72,14 @@ class MirageCache(Cache):
         return addr in self._sets[c0] or addr in self._sets[c1]
 
     def lookup(self, addr: int, is_write: bool = False) -> bool:
-        # Hot path: probe the first skew before computing the second
-        # hash -- roughly half of all hits never pay for it.
+        cand = self._cand.get(addr)
+        if cand is None:
+            cand = self._candidates(addr)
         sets = self._sets
-        s = sets[_mix(addr, self._key0) % self.n_sets]
+        s = sets[cand[0]]
         entry = s.get(addr)
         if entry is None:
-            s = sets[_mix(addr, self._key1) % self.n_sets]
+            s = sets[cand[1]]
             entry = s.get(addr)
         if entry is not None:
             if is_write:
@@ -87,7 +97,9 @@ class MirageCache(Cache):
             entry = self._sets[idx].get(addr)
             if entry is not None:
                 entry[0] = entry[0] or dirty
-                entry[1] = entry[1] or locked
+                if locked and not entry[1]:
+                    entry[1] = True
+                    self._locked += 1
                 return None
         # Power-of-two-choices placement into the emptier skew.
         if len(self._sets[c0]) <= len(self._sets[c1]):
@@ -102,9 +114,12 @@ class MirageCache(Cache):
             # Reuse-aware (LRU) victim inside the randomized set: MIRAGE's
             # global eviction is security-motivated; performance-wise it
             # tracks an LRU-class policy, which is what matters here.
-            vaddr = next((a for a, e in s.items() if not e[1]), None)
-            if vaddr is None:
-                return None
+            if self._locked:
+                vaddr = next((a for a, e in s.items() if not e[1]), None)
+                if vaddr is None:
+                    return None
+            else:
+                vaddr = next(iter(s))
             vdirty = s.pop(vaddr)[0]
             self.evictions += 1
             if vdirty:
@@ -113,6 +128,8 @@ class MirageCache(Cache):
                 self.tracer.instant("cache", "evict", cache=self.name,
                                     addr=vaddr, dirty=vdirty)
             victim = Eviction(vaddr, vdirty)
+        if locked:
+            self._locked += 1
         s[addr] = [dirty, locked]
         return victim
 
@@ -132,7 +149,10 @@ class MirageCache(Cache):
 
     def invalidate(self, addr: int) -> bool:
         for idx in self._candidates(addr):
-            if self._sets[idx].pop(addr, None) is not None:
+            entry = self._sets[idx].pop(addr, None)
+            if entry is not None:
+                if entry[1]:
+                    self._locked -= 1
                 return True
         return False
 
@@ -140,7 +160,9 @@ class MirageCache(Cache):
         for idx in self._candidates(addr):
             entry = self._sets[idx].get(addr)
             if entry is not None:
-                entry[1] = True
+                if not entry[1]:
+                    entry[1] = True
+                    self._locked += 1
                 return
         self.fill(addr, locked=True)
 

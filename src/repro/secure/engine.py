@@ -32,6 +32,10 @@ from repro.sim.trace import NULL_TRACER
 #: approximate with the expected fill across blocks).
 OVERFLOW_WRITES_PER_PAGE = 1024
 
+#: Tagged addresses at or above this value live in a metadata space —
+#: the hot-path form of :func:`repro.mem.spaces.is_metadata`.
+_METADATA_BASE = (spaces.DATA + 1) << spaces.SPACE_SHIFT
+
 
 class SecureMemoryEngine(ABC):
     """Base class: owns DRAM, metadata caches and shared accounting."""
@@ -51,6 +55,14 @@ class SecureMemoryEngine(ABC):
         self._h_verify = self.hists.get("verify_latency")
         self._h_path = self.hists.get("path_length")
         sec = config.secure
+        # Hot-path constants hoisted out of the per-access attribute
+        # chains (values identical to the config fields they mirror).
+        self._mac_hit_lat = float(sec.mac_cache.hit_latency)
+        self._ctr_hit_lat = float(sec.counter_cache.hit_latency)
+        self._aes_lat = sec.aes_latency
+        self._hash_lat = sec.hash_latency
+        self._mac_base = spaces.MAC << spaces.SPACE_SHIFT
+        self._ctr_base = spaces.COUNTER << spaces.SPACE_SHIFT
         self.counter_cache = make_cache(sec.counter_cache, "ctr$",
                                         seed=seed * 3 + 1)
         self.mac_cache = make_cache(sec.mac_cache, "mac$", seed=seed * 3 + 2)
@@ -138,7 +150,7 @@ class SecureMemoryEngine(ABC):
 
     def _mread(self, addr: int, now: float) -> float:
         lat = self.mc.read(addr, now)
-        if spaces.is_metadata(addr):
+        if addr >= _METADATA_BASE:
             self.stats.dram_metadata_reads += 1
         else:
             self.stats.dram_data_reads += 1
@@ -146,7 +158,7 @@ class SecureMemoryEngine(ABC):
 
     def _mwrite(self, addr: int, now: float) -> None:
         self.mc.write(addr, now)
-        if spaces.is_metadata(addr):
+        if addr >= _METADATA_BASE:
             self.stats.dram_metadata_writes += 1
         else:
             self.stats.dram_data_writes += 1
@@ -183,12 +195,13 @@ class SecureMemoryEngine(ABC):
 
     def _mac_access(self, pfn: int, block_in_page: int, now: float,
                     dirty: bool) -> float:
-        addr = self.mac_addr(pfn, block_in_page)
+        # Inlined mac_addr: one MAC block covers 8 data blocks.
+        addr = self._mac_base | ((pfn * BLOCKS_PER_PAGE + block_in_page) >> 3)
         if self.mac_cache.lookup(addr, is_write=dirty):
             self.stats.mac_hits += 1
             if self.tracer.enabled:
                 self.tracer.instant("mac", "hit", ts=now, addr=addr)
-            return float(self.config.secure.mac_cache.hit_latency)
+            return self._mac_hit_lat
         self.stats.mac_misses += 1
         if self.tracer.enabled:
             self.tracer.instant("mac", "miss", ts=now, addr=addr)
@@ -209,12 +222,13 @@ class SecureMemoryEngine(ABC):
             self.stats.data_writes += 1
         else:
             self.stats.data_reads += 1
-        lat_data = self._mread(self.data_addr(pfn, block_in_page), now)
+        # data_addr is the identity tagging (DATA space is 0).
+        lat_data = self._mread(pfn * BLOCKS_PER_PAGE + block_in_page, now)
         lat_mac = self._mac_access(pfn, block_in_page, now, dirty=is_write)
         lat_meta = self._verify_path(domain, pfn, now, for_write=is_write)
         # Decryption needs the verified counter; OTP generation overlaps
         # the data fetch, so only the residual AES latency serialises.
-        lat_meta += self.config.secure.aes_latency
+        lat_meta += self._aes_lat
         lat = max(lat_data, lat_mac, lat_meta)
         self._h_verify.record(lat_meta)
         self._h_access.record(lat)
@@ -304,14 +318,13 @@ class BaselineEngine(SecureMemoryEngine):
 
     def _verify_path(self, domain: int, pfn: int, now: float,
                      for_write: bool) -> float:
-        sec = self.config.secure
         tracing = self.tracer.enabled
         ctr_addr = self.geo.counter_addr(pfn)
         if self.counter_cache.lookup(ctr_addr, is_write=for_write):
             self.stats.counter_hits += 1
             if tracing:
                 self.tracer.instant("tree", "counter_hit", ts=now, pfn=pfn)
-            return float(sec.counter_cache.hit_latency)
+            return self._ctr_hit_lat
         self.stats.counter_misses += 1
         if tracing:
             self.tracer.instant("tree", "counter_miss", ts=now, pfn=pfn)
@@ -329,7 +342,7 @@ class BaselineEngine(SecureMemoryEngine):
             if tracing:
                 self.tracer.instant("tree", "node", ts=clock,
                                     level=level, addr=addr)
-            clock += self._mread(addr, clock) + sec.hash_latency
+            clock += self._mread(addr, clock) + self._hash_lat
             self._fill(tree_cache, addr, clock, dirty=for_write)
         self._record_path(domain, visited)
         self._fill(self.counter_cache, ctr_addr, clock, dirty=for_write)

@@ -89,7 +89,6 @@ class StaticPartitionEngine(SecureMemoryEngine):
 
     def _verify_path(self, domain: int, pfn: int, now: float,
                      for_write: bool) -> float:
-        sec = self.config.secure
         tracing = self.tracer.enabled
         local_page = self._check_containment(domain, pfn)
         part = self._partition_of[domain]
@@ -98,7 +97,7 @@ class StaticPartitionEngine(SecureMemoryEngine):
             self.stats.counter_hits += 1
             if tracing:
                 self.tracer.instant("tree", "counter_hit", ts=now, pfn=pfn)
-            return float(sec.counter_cache.hit_latency)
+            return self._ctr_hit_lat
         self.stats.counter_misses += 1
         if tracing:
             self.tracer.instant("tree", "counter_miss", ts=now, pfn=pfn,
@@ -119,7 +118,7 @@ class StaticPartitionEngine(SecureMemoryEngine):
                 self.tracer.instant("tree", "node", ts=clock,
                                     level=level, addr=addr,
                                     partition=part)
-            clock += self._mread(addr, clock) + sec.hash_latency
+            clock += self._mread(addr, clock) + self._hash_lat
             self._fill(tree_cache, addr, clock, dirty=for_write)
         self._record_path(domain, visited)
         self._fill(self.counter_cache, ctr_addr, clock, dirty=for_write)

@@ -27,12 +27,14 @@ SUB_BITS = 4
 class LatencyHistogram:
     """One log-bucketed distribution of non-negative integer samples."""
 
-    __slots__ = ("sub_bits", "counts", "count", "total", "min", "max")
+    __slots__ = ("sub_bits", "counts", "count", "total", "min", "max",
+                 "_linear_limit")
 
     def __init__(self, sub_bits: int = SUB_BITS) -> None:
         if sub_bits < 1:
             raise ValueError("sub_bits must be >= 1")
         self.sub_bits = sub_bits
+        self._linear_limit = 1 << sub_bits
         self.counts: Dict[int, int] = {}
         self.count = 0
         self.total = 0
@@ -62,8 +64,15 @@ class LatencyHistogram:
         if value < 0:
             value = 0
         v = int(value)
-        idx = self._index(v)
-        self.counts[idx] = self.counts.get(idx, 0) + 1
+        # _index() inlined: record is called several times per simulated
+        # access, and the call + attribute traffic dominated the math.
+        if v < self._linear_limit:
+            idx = v
+        else:
+            k = v.bit_length() - self.sub_bits
+            idx = (k << self.sub_bits) + (v >> k)
+        counts = self.counts
+        counts[idx] = counts.get(idx, 0) + 1
         self.count += 1
         # Bucketing quantises to int, but the sum keeps the exact sample
         # value: fractional latencies (DRAM queueing delay) must yield a
@@ -71,6 +80,34 @@ class LatencyHistogram:
         # ``DRAMStats.total_read_latency``) instead of drifting low by
         # up to one cycle.
         self.total += value
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+
+    def record_many(self, value, n: int) -> None:
+        """Record ``n`` identical samples.
+
+        Bit-identical to calling :meth:`record` ``n`` times as long as
+        ``value`` is integer-valued (the batched simulator core only
+        uses this for constant hit latencies, which are): ``n`` repeated
+        float additions of an integer-valued double and one addition of
+        ``value * n`` are both exact.
+        """
+        if n <= 0:
+            return
+        if value < 0:
+            value = 0
+        v = int(value)
+        if v < self._linear_limit:
+            idx = v
+        else:
+            k = v.bit_length() - self.sub_bits
+            idx = (k << self.sub_bits) + (v >> k)
+        counts = self.counts
+        counts[idx] = counts.get(idx, 0) + n
+        self.count += n
+        self.total += value * n
         if self.min is None or v < self.min:
             self.min = v
         if self.max is None or v > self.max:

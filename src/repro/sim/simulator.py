@@ -344,6 +344,17 @@ class Simulator:
             raise ValueError(
                 f"workload has {len(workload.traces)} traces but the "
                 f"machine has {cfg.n_cores} cores")
+        if warmup:
+            shortest = min(len(t) for t in workload.traces)
+            if warmup >= shortest:
+                # A core whose whole trace fits inside the warmup window
+                # would end the run with ``warmup_clock`` equal to its
+                # final clock: cycles == 0 and zero instructions, which
+                # silently poisons weighted-IPC aggregation downstream.
+                raise ValueError(
+                    f"warmup={warmup} consumes the shortest trace "
+                    f"({shortest} accesses) entirely; nothing would be "
+                    f"measured for that core")
         extended = hasattr(self.engine, "leafmap")
         states: list[_CoreState] = []
         tables: dict[int, PageTable] = {}

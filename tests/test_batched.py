@@ -1,0 +1,166 @@
+"""Batched-vs-scalar core lockstep equivalence.
+
+The batched core (:mod:`repro.sim.batched`) promises *bit-identical*
+results to the scalar reference core -- not "statistically equal", equal
+as Python objects.  Every engine in the registry runs the same seeded
+stream through both cores; the suite compares
+
+* the full ``RunResult.to_dict()`` (per-core stats, engine stats,
+  per-class latency summaries),
+* the complete registry snapshot (every counter of every component),
+* the per-class latency histogram buckets, and
+* per-drain checkpoints (a snapshot at the warmup boundary and at the
+  end, in the style of the PR-4 oracle's periodic checkpoints), so a
+  divergence is localised to the drain that introduced it.
+
+The workload deliberately exercises the scalar fallbacks: a churny mix
+drives page frees/refaults and TLB shootdowns through the slow path
+while the surrounding accesses flow through the flattened fast path.
+"""
+
+import pytest
+
+from repro.experiments.parallel import resolve_engine
+from repro.sim.batched import (BatchedSimulator, core_from_env,
+                               make_simulator)
+from repro.sim.config import tiny_config
+from repro.sim.simulator import Simulator
+from repro.workloads.mixes import build_mix
+
+#: All nine engines across the five scheme families (paper engines,
+#: comparators, bit-vector allocator ablations).
+ALL_NINE = [
+    "baseline",
+    "ivleague-basic",
+    "ivleague-invert",
+    "ivleague-pro",
+    "ivleague-bv1",
+    "ivleague-bv2",
+    "sgx-counter-tree",
+    "vault",
+    "static-partition",
+]
+
+
+def _run_core(cls, scheme, mix="M-2", n_accesses=400, seed=3, warmup=100):
+    cfg = tiny_config(n_cores=4)
+    engine = resolve_engine(scheme)(cfg, seed=11)
+    workload = build_mix(mix, n_accesses=n_accesses, seed=seed, scale=0.05)
+    frame_policy = ("sequential" if scheme.startswith("static-partition")
+                    else "fragmented")
+    sim = cls(cfg, engine, seed=seed, frame_policy=frame_policy)
+    checkpoints = []
+    orig_drain = sim._drain
+
+    def checkpointed_drain(states, until):
+        orig_drain(states, until)
+        checkpoints.append(sim.registry.snapshot())
+
+    sim._drain = checkpointed_drain
+    result = sim.run(workload, warmup=warmup)
+    hists = {name: h.to_dict() for name, h in sim._class_hist.items()}
+    return result, sim.registry.snapshot(), hists, checkpoints
+
+
+@pytest.mark.parametrize("scheme", ALL_NINE)
+def test_lockstep_bit_identical(scheme):
+    scalar = _run_core(Simulator, scheme)
+    batched = _run_core(BatchedSimulator, scheme)
+    s_res, s_reg, s_hist, s_ckpt = scalar
+    b_res, b_reg, b_hist, b_ckpt = batched
+    # Checkpoints first: a warmup-drain divergence shows up here even
+    # when it happens to cancel out of the final statistics.
+    assert len(s_ckpt) == len(b_ckpt) == 2   # warmup drain + main drain
+    for i, (s, b) in enumerate(zip(s_ckpt, b_ckpt)):
+        assert s == b, f"registry diverged at drain checkpoint {i}"
+    assert s_reg == b_reg
+    assert s_hist == b_hist, "per-class latency histogram buckets differ"
+    assert s_res.to_dict() == b_res.to_dict()
+
+
+def test_churny_stream_takes_both_paths():
+    """The equivalence test is vacuous if the batched core never takes
+    its fast path (everything falls back to the scalar step) or never
+    falls back (no faults exercised).  Pin both on the suite's stream."""
+    cfg = tiny_config(n_cores=4)
+    engine = resolve_engine("ivleague-basic")(cfg, seed=11)
+    workload = build_mix("M-2", n_accesses=400, seed=3, scale=0.05)
+    sim = BatchedSimulator(cfg, engine, seed=3, frame_policy="fragmented")
+    steps = []
+    orig = sim._step
+
+    def counting_step(ci, st):
+        steps.append(ci)
+        orig(ci, st)
+
+    sim._step = counting_step
+    result = sim.run(workload, warmup=100)
+    total = sum(c.mem_accesses for c in result.cores)
+    assert steps, "no access ever took the scalar fallback"
+    # mem_accesses excludes warmup, so compare against the full stream
+    assert len(steps) < 4 * 400, "every access fell back to the scalar step"
+    assert total > 0
+
+
+def test_tracing_routes_through_scalar_core():
+    """An installed tracer must disable the flattened path (it skips the
+    per-event trace hooks); the drain falls back wholesale."""
+    from repro.sim.trace import EventTracer
+
+    cfg = tiny_config(n_cores=4)
+    engine = resolve_engine("baseline")(cfg, seed=11)
+    workload = build_mix("S-1", n_accesses=120, seed=0, scale=0.05)
+    tracer = EventTracer()
+    sim = BatchedSimulator(cfg, engine, seed=0, tracer=tracer)
+    steps = []
+    orig = sim._step
+
+    def counting_step(ci, st):
+        steps.append(ci)
+        orig(ci, st)
+
+    sim._step = counting_step
+    sim.run(workload)
+    assert len(steps) == 4 * 120   # every access through the scalar step
+
+
+def test_subclassed_cache_disables_inline_path():
+    """The flattened step bakes in plain-Cache replacement; a subclassed
+    L1 must force the scalar route rather than silently mis-modelling."""
+    from repro.mem.cache import Cache
+
+    class WeirdCache(Cache):
+        pass
+
+    cfg = tiny_config(n_cores=2)
+    engine = resolve_engine("baseline")(cfg, seed=11)
+    sim = BatchedSimulator(cfg, engine, seed=0)
+    assert sim._inline_safe()
+    old = sim.hierarchy.l1[0]
+    sim.hierarchy.l1[0] = WeirdCache(old.config, name=old.name)
+    assert not sim._inline_safe()
+
+
+class TestCoreSelection:
+    def test_default_is_batched(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CORE", raising=False)
+        assert core_from_env() == "batched"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CORE", "scalar")
+        assert core_from_env() == "scalar"
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CORE", "vectorised")
+        with pytest.raises(ValueError):
+            core_from_env()
+
+    def test_make_simulator_classes(self):
+        cfg = tiny_config(n_cores=2)
+        eng = resolve_engine("baseline")(cfg, seed=11)
+        assert type(make_simulator("scalar", cfg, eng)) is Simulator
+        eng2 = resolve_engine("baseline")(cfg, seed=11)
+        assert type(make_simulator("batched", cfg, eng2)) \
+            is BatchedSimulator
+        with pytest.raises(ValueError):
+            make_simulator("gpu", cfg, eng)

@@ -302,16 +302,17 @@ class TestWarmupReset:
     def _wl(self, n=2000):
         return build_workload("t", ["gcc", "x264"], n, seed=1, scale=0.03)
 
-    def test_full_warmup_leaves_all_counters_zero(self, tiny):
+    def test_full_warmup_rejected(self, tiny):
         """With warmup == trace length the measurement window is empty:
-        every registered counter must read zero afterwards."""
+        cycles == 0 per core silently poisons weighted-IPC aggregation
+        downstream, so the simulator now refuses to run it (PR-6).  A
+        window of even one access is still legal and measured."""
         wl = self._wl()
-        sim, result = run_sim(BaselineEngine, tiny, wl, warmup=2000)
-        for group, fields in sim.registry.snapshot().items():
-            for name, value in fields.items():
-                assert value == 0, f"{group}.{name} leaked warmup traffic"
-        assert result.engine.total_dram_accesses == 0
-        assert all(c.mem_accesses == 0 for c in result.cores)
+        with pytest.raises(ValueError, match="warmup"):
+            run_sim(BaselineEngine, tiny, wl, warmup=2000)
+        sim, result = run_sim(BaselineEngine, tiny, wl, warmup=1999)
+        assert all(c.mem_accesses == 1 for c in result.cores)
+        assert all(c.cycles > 0 for c in result.cores)
 
     def test_hierarchy_counters_reset_at_boundary(self, tiny):
         """The historical bug: Cache.stats, DRAMStats and TLB counters
@@ -340,17 +341,19 @@ class TestWarmupReset:
         """reset_all zeroes counters, not contents: the warmed caches
         must still be populated (that is what warmup is for)."""
         wl = self._wl()
-        sim, _ = run_sim(BaselineEngine, tiny, wl, warmup=2000)
+        sim, _ = run_sim(BaselineEngine, tiny, wl, warmup=1999)
         assert len(sim.hierarchy.llc) > 0
-        assert sim.hierarchy.llc.stats.accesses == 0
+        # one measured access at most touches the LLC once
+        assert sim.hierarchy.llc.stats.accesses <= 2
 
     def test_ivleague_metadata_counters_reset(self, tiny):
         wl = self._wl()
-        sim, result = run_sim(IvLeagueProEngine, tiny, wl, warmup=2000)
-        assert sim.engine.lmm_cache.hits == 0
-        assert sim.engine.lmm_cache.misses == 0
-        assert result.engine.nflb_hits == 0
-        assert all(b.hits + b.misses == 0
+        sim, result = run_sim(IvLeagueProEngine, tiny, wl, warmup=1999)
+        # a single measured access per core can touch the LMM at most a
+        # handful of times; the thousands of warmup probes must be gone
+        assert sim.engine.lmm_cache.hits + sim.engine.lmm_cache.misses <= 8
+        assert result.engine.nflb_hits <= 8
+        assert all(b.hits + b.misses <= 8
                    for b in sim.engine._nflb.values())
 
     def test_invariants_hold_across_reset_boundary(self, tiny):

@@ -151,3 +151,88 @@ class TestThreadGroups:
     def test_default_one_domain_per_core(self, tiny):
         wl = small_workload()
         assert wl.domain_of(0) == 1 and wl.domain_of(1) == 2
+
+
+class TestWarmupGuard:
+    """``warmup >= len(trace)`` used to leave a core with
+    ``warmup_clock`` equal to its final clock: cycles == 0 and zero
+    instructions, silently inflating weighted-IPC aggregates."""
+
+    def test_warmup_consuming_whole_trace_rejected(self, tiny):
+        wl = small_workload(n=500)
+        with pytest.raises(ValueError, match="warmup"):
+            run_workload(tiny, BaselineEngine, wl, warmup=500)
+
+    def test_warmup_beyond_trace_rejected(self, tiny):
+        wl = small_workload(n=500)
+        with pytest.raises(ValueError, match="warmup"):
+            run_workload(tiny, BaselineEngine, wl, warmup=10_000)
+
+    def test_warmup_one_short_of_trace_still_measures(self, tiny):
+        wl = small_workload(n=500)
+        r = run_workload(tiny, BaselineEngine, wl, warmup=499)
+        for c in r.cores:
+            assert c.mem_accesses == 1
+            assert c.cycles > 0
+
+
+class TestFaultWalkExclusivity:
+    """Exactly one of {page fault, TLB walk} is charged per first-touch
+    pair: the fault path fills the TLB (simulator.py ``_alloc_page``),
+    so the access right after a fault must not also pay a walk."""
+
+    @staticmethod
+    def _pair_workload(n_pages=8, repeats=4):
+        """Touch each page ``repeats`` times back-to-back: any fault
+        that failed to fill the TLB would charge a walk on the very
+        next access to the same page."""
+        import numpy as np
+
+        from repro.workloads.generator import CoreTrace, WorkloadSpec
+        n = n_pages * repeats
+        vpage = np.repeat(np.arange(n_pages, dtype=np.int64), repeats)
+        trace = CoreTrace(
+            benchmark="synthetic", footprint=n_pages, vpage=vpage,
+            block=np.zeros(n, dtype=np.int64),
+            is_write=np.zeros(n, dtype=bool),
+            gap=np.ones(n, dtype=np.int64),
+            churn_every=0, churn_pages=0)
+        return WorkloadSpec("first-touch-pairs", [trace])
+
+    def test_fault_fills_tlb_no_walk_on_next_access(self, tiny):
+        from repro.sim.simulator import Simulator
+        sim = Simulator(tiny, BaselineEngine(tiny))
+        sim.run(self._pair_workload())
+        faults = sim.hists.get("page_fault").count
+        walks = sim.hists.get("tlb_walk").count
+        assert faults == 8          # one per distinct page
+        assert walks == 0           # never a walk on a fresh TLB fill
+        assert sim.tlb.stats.misses == 0
+
+    def test_walks_only_after_tlb_eviction(self, tiny):
+        """With a footprint beyond TLB reach, walks appear -- but only
+        on *re*-touches: first touches still charge exactly a fault."""
+        import numpy as np
+
+        from repro.sim.simulator import Simulator
+        from repro.workloads.generator import CoreTrace, WorkloadSpec
+        n_pages = tiny.tlb_entries * 4
+        vpage = np.concatenate([
+            np.arange(n_pages, dtype=np.int64),    # first touches
+            np.arange(n_pages, dtype=np.int64),    # re-touches
+        ])
+        n = len(vpage)
+        trace = CoreTrace(
+            benchmark="synthetic", footprint=n_pages, vpage=vpage,
+            block=np.zeros(n, dtype=np.int64),
+            is_write=np.zeros(n, dtype=bool),
+            gap=np.ones(n, dtype=np.int64),
+            churn_every=0, churn_pages=0)
+        sim = Simulator(tiny, BaselineEngine(tiny))
+        sim.run(WorkloadSpec("tlb-thrash", [trace]))
+        faults = sim.hists.get("page_fault").count
+        walks = sim.hists.get("tlb_walk").count
+        assert faults == n_pages
+        assert walks > 0
+        # every access is charged exactly one of {fault, walk, TLB hit}
+        assert faults + walks + sim.tlb.stats.hits == n

@@ -226,7 +226,12 @@ class TestOverheadGuard:
         # 3x margin on the guard cost, plus 2 guards per emitted event
         # (several sites check twice on branchy paths)
         overhead = n_sites * 2 * per_check * 3
-        assert overhead < 0.05 * run_time, (
+        # Budget 10% of wall time: PR-6 roughly halved the per-access
+        # cost of the scalar core, so the same absolute guard cost is
+        # now twice the fraction it was; with the estimator's built-in
+        # 3x safety factor the old 5% budget sat inside the estimator's
+        # own error bars and flaked on fast runs.
+        assert overhead < 0.10 * run_time, (
             f"estimated NullTracer overhead {overhead:.4f}s vs "
             f"run {run_time:.4f}s ({100 * overhead / run_time:.1f}%)")
 
