@@ -33,7 +33,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import sys
 import time
 
@@ -44,7 +43,10 @@ from repro.experiments.parallel import (CellFailure, ResultCache,  # noqa: E402
                                         execute, scale_cell)
 from repro.sim.batched import CORE_ENV, core_from_env  # noqa: E402
 from repro.sim.config import scaled_config  # noqa: E402
-from repro.sim.provenance import run_manifest  # noqa: E402
+from repro.sim.provenance import host_facts, run_manifest  # noqa: E402
+
+#: Default perf-history series next to BENCH_runner.json.
+DEFAULT_HISTORY = "BENCH_history.jsonl"
 
 #: The default sweep: the ISSUE's 4-scheme x 4-mix acceptance matrix.
 SCHEMES = ["baseline", "ivleague-basic", "ivleague-invert", "ivleague-pro"]
@@ -67,6 +69,37 @@ def build_cells(quick: bool):
         import dataclasses
         sc = dataclasses.replace(sc, n_accesses=2000, warmup=500)
     return [scale_cell(m, s, sc) for m in mixes for s in SCHEMES], sc, mixes
+
+
+def history_record(payload: dict) -> dict:
+    """Flatten one BENCH_runner payload into a perf-history record.
+
+    The leading fields are the *comparability key*: two records measure
+    the same thing only when bench/quick/core/n_cells/n_accesses agree
+    (scripts/perf_check.py filters its baseline window by them).
+    """
+    man = payload.get("manifest", {})
+    return {
+        "bench": payload["bench"],
+        "quick": payload["sweep"]["quick"],
+        "core": payload["core"],
+        "n_cells": payload["sweep"]["n_cells"],
+        "n_accesses": payload["sweep"]["n_accesses"],
+        "cells_per_sec_serial": payload["cells_per_sec_serial"],
+        "warm_seconds_per_cell": payload["warm_seconds_per_cell"],
+        "parallel_speedup": payload["parallel_speedup"],
+        "seconds": payload["seconds"],
+        "git_sha": man.get("git_sha"),
+        "config_hash": man.get("config_hash"),
+        "created": man.get("created"),
+        "host": payload["host"],
+    }
+
+
+def append_history(path: str, record: dict) -> None:
+    """Append one JSONL record; the file is an append-only time series."""
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(json.dumps(record, sort_keys=True) + "\n")
 
 
 def timed(label: str, fn):
@@ -102,6 +135,12 @@ def main() -> int:
     ap.add_argument("--core", choices=("batched", "scalar"), default=None,
                     help="simulator core to benchmark (default: "
                          f"${CORE_ENV} or 'batched')")
+    ap.add_argument("--append-history", action="store_true",
+                    help="append this run's record to the perf-history "
+                         "series (see --history-file)")
+    ap.add_argument("--history-file", default=DEFAULT_HISTORY,
+                    help=f"perf-history JSONL path (default "
+                         f"{DEFAULT_HISTORY})")
     args = ap.parse_args()
 
     if args.core is not None:
@@ -158,9 +197,7 @@ def main() -> int:
 
     payload = {
         "bench": "experiment-runner",
-        "host": {"cpus": cpus,
-                 "platform": platform.platform(),
-                 "python": platform.python_version()},
+        "host": host_facts(),
         "sweep": {"schemes": SCHEMES, "mixes": mixes,
                   "n_cells": len(cells), "n_accesses": sc.n_accesses,
                   "warmup": sc.warmup, "quick": args.quick},
@@ -188,6 +225,9 @@ def main() -> int:
 
     if mismatched:
         return 1
+    if args.append_history:
+        append_history(args.history_file, history_record(payload))
+        print(f"appended history record to {args.history_file}")
     if args.check:
         ok = True
         if cells_per_sec < floor:

@@ -7,6 +7,7 @@ that produced the measured numbers recorded in EXPERIMENTS.md.
 Usage:
     python scripts/run_experiments.py [quick|full] [--env fragmented|sequential|both]
                                       [--jobs N] [--no-cache] [--cache-dir DIR]
+                                      [--progress [PATH]]
 """
 
 from __future__ import annotations
@@ -35,9 +36,15 @@ def main() -> None:
                     help="bypass the persistent result cache")
     ap.add_argument("--cache-dir", default=None, metavar="DIR",
                     help="persistent cache location (default .cache/runs)")
+    ap.add_argument("--progress", default=None, nargs="?", const="1",
+                    metavar="PATH",
+                    help="live per-cell progress on stderr; with PATH, "
+                         "also append structured JSONL events there "
+                         "(default: $REPRO_PROGRESS)")
     args = ap.parse_args()
     runner.configure(jobs=args.jobs, cache_dir=args.cache_dir,
-                     use_cache=False if args.no_cache else None)
+                     use_cache=False if args.no_cache else None,
+                     progress=args.progress)
 
     t0 = time.time()
     tab01_config.main()

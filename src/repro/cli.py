@@ -40,24 +40,43 @@ def _print_profile(results) -> None:
 
 
 def _cmd_run(args) -> int:
-    from repro import ENGINES, build_mix, run_workload, scaled_config
+    import time
+
+    from repro import ENGINES, build_mix, scaled_config
+    from repro.sim.batched import core_from_env, make_simulator
     from repro.sim.provenance import run_manifest
     cfg = scaled_config(n_cores=4)
     workload = build_mix(args.mix, n_accesses=args.accesses)
     schemes = [args.scheme] if args.scheme != "all" else list(ENGINES)
+    core = args.core or core_from_env()
     tracers = {}
+    profilers = {}
+    wall_ns = {}
     results = {}
+    rc = 0
     for pid, scheme in enumerate(schemes):
         tracer = None
         if args.trace:
             from repro.sim.trace import EventTracer
             tracer = EventTracer(limit=args.trace_limit, pid=pid)
             tracers[scheme] = tracer
-        results[scheme] = run_workload(
-            cfg, ENGINES[scheme], workload, warmup=args.accesses // 3,
-            frame_policy=args.frames, seed=args.seed,
-            check_invariants=args.check_invariants or None,
-            tracer=tracer)
+        profiler = None
+        if args.profile_phases:
+            from repro.sim.profiler import PhaseProfiler
+            profiler = PhaseProfiler()
+            profilers[scheme] = profiler
+        engine = ENGINES[scheme](cfg, seed=args.seed)
+        sim = make_simulator(core, cfg, engine, seed=args.seed,
+                             frame_policy=args.frames, tracer=tracer,
+                             profiler=profiler)
+        # The coverage self-check compares the profiler's attribution
+        # against this *external* timing of sim.run, so it cannot be
+        # satisfied by the profiler's own bookkeeping alone.
+        t0 = time.perf_counter_ns()
+        results[scheme] = sim.run(
+            workload, warmup=args.accesses // 3,
+            check_invariants=args.check_invariants or None)
+        wall_ns[scheme] = time.perf_counter_ns() - t0
     base = results.get("baseline")
     print(f"{'scheme':18s} {'IPC/core':>24s} {'path':>6s} {'DRAM':>9s}")
     for scheme, r in results.items():
@@ -71,6 +90,17 @@ def _cmd_run(args) -> int:
         print(f"invariants OK for {len(results)} scheme(s)")
     if args.profile:
         _print_profile(results)
+    if args.profile_phases:
+        from repro.sim.profiler import format_phase_table
+        reports = [(scheme, prof.report(measured_ns=wall_ns[scheme]))
+                   for scheme, prof in profilers.items()]
+        text, coverage_ok = format_phase_table(reports, core=core)
+        print(text)
+        if not coverage_ok:
+            print("profile-phases: attributed time fell below the "
+                  "coverage floor — instrumentation is missing a hot "
+                  "path", file=sys.stderr)
+            rc = 1
     manifest = run_manifest(
         config=cfg, seed=args.seed, mix=args.mix, accesses=args.accesses,
         warmup=args.accesses // 3, frames=args.frames, schemes=schemes)
@@ -80,6 +110,12 @@ def _cmd_run(args) -> int:
         dropped = sum(t.dropped for t in tracers.values())
         print(f"wrote trace ({sum(t.emitted for t in tracers.values())} "
               f"events, {dropped} dropped) to {args.trace}")
+        if dropped:
+            per = ", ".join(f"{s}: {t.dropped}"
+                            for s, t in tracers.items() if t.dropped)
+            print(f"warning: trace ring buffer overflowed — {dropped} "
+                  f"oldest events dropped ({per}); raise --trace-limit "
+                  f"to keep them", file=sys.stderr)
     if args.dump_stats:
         import json
         import os
@@ -92,7 +128,7 @@ def _cmd_run(args) -> int:
         with open(args.dump_stats, "w") as f:
             json.dump(payload, f, indent=2, sort_keys=True)
         print(f"wrote measurement-window stats to {args.dump_stats}")
-    return 0
+    return rc
 
 
 def _cmd_attack(args) -> int:
@@ -205,12 +241,13 @@ _EXPERIMENTS = {
 
 
 def _configure_runner(args) -> None:
-    """Apply --jobs/--no-cache/--cache-dir to the experiment runner."""
+    """Apply --jobs/--no-cache/--cache-dir/--progress to the runner."""
     from repro.experiments import runner
     runner.configure(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
-        use_cache=False if args.no_cache else None)
+        use_cache=False if args.no_cache else None,
+        progress=args.progress)
 
 
 def _add_runner_flags(sub) -> None:
@@ -223,6 +260,11 @@ def _add_runner_flags(sub) -> None:
     sub.add_argument("--cache-dir", default=None, metavar="DIR",
                      help="persistent result cache location "
                           "(default: .cache/runs, or $REPRO_CACHE_DIR)")
+    sub.add_argument("--progress", default=None, nargs="?", const="1",
+                     metavar="PATH",
+                     help="live per-cell progress on stderr; with PATH, "
+                          "also append structured JSONL events there "
+                          "(default: $REPRO_PROGRESS)")
 
 
 def _cmd_experiment(args) -> int:
@@ -304,6 +346,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--profile", action="store_true",
                      help="print p50/p95/p99 latency per request class "
                           "per scheme from the log-bucketed histograms")
+    run.add_argument("--profile-phases", action="store_true",
+                     help="attribute host wall time to named model "
+                          "phases (verify, MAC, DRAM, ...) per scheme; "
+                          "exits non-zero if the attribution covers "
+                          "<90%% of measured run time")
+    run.add_argument("--core", default=None,
+                     choices=["batched", "scalar"],
+                     help="simulator core (default: $REPRO_CORE or "
+                          "'batched')")
     run.set_defaults(func=_cmd_run)
 
     atk = sub.add_parser("attack", help="MetaLeak demonstration")

@@ -28,14 +28,16 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
 from hashlib import sha256
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.sim.config import MachineConfig, scaled_config
-from repro.sim.provenance import STATS_SCHEMA_VERSION, config_hash
+from repro.sim.provenance import (STATS_SCHEMA_VERSION, config_hash,
+                                  peak_rss_kb)
 from repro.sim.stats import RunResult
 
 #: Bumped whenever the pickled payload layout (RunResult/CoreStats/
@@ -306,8 +308,56 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+def _spec_label(spec) -> str:
+    """Short human identity of a spec for progress events."""
+    if isinstance(spec, Cell):
+        return f"{spec.mix}/{spec.scheme}"
+    return type(spec).__name__
+
+
+def _instrumented(worker, spec):
+    """Run one task under per-cell telemetry (module-level: it crosses
+    the process-pool pickle boundary).
+
+    Returns ``(outcome, meta)`` where ``meta`` carries the cell's wall
+    time, the worker process's peak RSS, and a worker-side
+    :class:`repro.obs.metrics.Metrics` snapshot for the parent to merge
+    (so pool workers' instruments read like one process's totals).
+    """
+    from repro.obs.metrics import Metrics
+
+    m = Metrics()
+    t0 = time.perf_counter()
+    outcome = worker(spec)
+    wall = time.perf_counter() - t0
+    rss = peak_rss_kb()
+    failed = isinstance(outcome, CellFailure)
+    m.timer("cell_wall").observe(wall)
+    m.gauge("peak_rss_kb").set_max(rss)
+    m.counter("cells_failed" if failed else "cells_finished").inc()
+    return outcome, {"wall_s": wall, "peak_rss_kb": rss,
+                     "metrics": m.snapshot()}
+
+
+def _note_done(reporter, metrics, key: str, spec, outcome, meta) -> None:
+    """Fan one finished cell's telemetry to the reporter and metrics."""
+    if metrics is not None:
+        metrics.merge(meta["metrics"])
+    if reporter is not None:
+        if isinstance(outcome, CellFailure):
+            reporter.cell_failed(key, outcome.kind, outcome.message,
+                                 label=_spec_label(spec),
+                                 wall_s=meta["wall_s"],
+                                 peak_rss_kb=meta["peak_rss_kb"])
+        else:
+            reporter.cell_finish(key, label=_spec_label(spec),
+                                 wall_s=meta["wall_s"],
+                                 peak_rss_kb=meta["peak_rss_kb"])
+
+
 def execute_tasks(specs: Sequence, worker, key_fn, jobs: int = 1,
-                  cache: ResultCache | None = None) -> list:
+                  cache: ResultCache | None = None,
+                  reporter=None, metrics=None) -> list:
     """Generic fan-out: run ``worker(spec)`` for every spec through the
     persistent cache.
 
@@ -317,11 +367,21 @@ def execute_tasks(specs: Sequence, worker, key_fn, jobs: int = 1,
     the machinery under :func:`execute` (simulation cells) and the
     fault-injection campaign runner — any deterministic, embarrassingly
     parallel sweep can ride it.
+
+    ``reporter`` (a :class:`repro.obs.progress.ProgressReporter`) and
+    ``metrics`` (a :class:`repro.obs.metrics.Metrics`) opt into
+    telemetry: lifecycle events per cell, per-cell wall time and worker
+    peak RSS, live results via ``as_completed``.  With both ``None``
+    (the default) the execution path is byte-for-byte the untelemetered
+    one — no wrapper callable, no extra pickling.
     """
     keys = [key_fn(spec) for spec in specs]
     outcomes: dict[str, object] = {}
     pending: list[tuple[str, object]] = []
+    cached: list[tuple[str, object]] = []
     seen: set[str] = set()
+    hits0 = cache.hits if cache is not None else 0
+    misses0 = cache.misses if cache is not None else 0
     for key, spec in zip(keys, specs):
         if key in seen:
             continue
@@ -329,31 +389,78 @@ def execute_tasks(specs: Sequence, worker, key_fn, jobs: int = 1,
         hit = cache.get(key) if cache is not None else None
         if hit is not None:
             outcomes[key] = hit
+            cached.append((key, spec))
         else:
             pending.append((key, spec))
 
+    telemetry = reporter is not None or metrics is not None
+    if reporter is not None:
+        reporter.sweep_start(total=len(seen), cached=len(cached), jobs=jobs)
+        for key, spec in cached:
+            reporter.cell_cached(key, label=_spec_label(spec))
+    if metrics is not None:
+        metrics.counter("cells_total").inc(len(seen))
+        metrics.counter("cells_cached").inc(len(cached))
+
     if pending:
-        if jobs <= 1 or len(pending) == 1:
-            fresh = [(key, worker(spec)) for key, spec in pending]
+        if not telemetry:
+            if jobs <= 1 or len(pending) == 1:
+                fresh = [(key, worker(spec)) for key, spec in pending]
+            else:
+                workers = min(jobs, len(pending))
+                with ProcessPoolExecutor(
+                        max_workers=workers,
+                        mp_context=_pool_context()) as pool:
+                    futures = [(key, pool.submit(worker, spec))
+                               for key, spec in pending]
+                    fresh = [(key, fut.result()) for key, fut in futures]
+        elif jobs <= 1 or len(pending) == 1:
+            fresh = []
+            for key, spec in pending:
+                if reporter is not None:
+                    reporter.cell_start(key, label=_spec_label(spec))
+                outcome, meta = _instrumented(worker, spec)
+                _note_done(reporter, metrics, key, spec, outcome, meta)
+                fresh.append((key, outcome))
         else:
             workers = min(jobs, len(pending))
+            done: dict[str, object] = {}
             with ProcessPoolExecutor(
                     max_workers=workers,
                     mp_context=_pool_context()) as pool:
-                futures = [(key, pool.submit(worker, spec))
-                           for key, spec in pending]
-                fresh = [(key, fut.result()) for key, fut in futures]
+                fut_info = {}
+                for key, spec in pending:
+                    if reporter is not None:
+                        reporter.cell_start(key, label=_spec_label(spec))
+                    fut = pool.submit(_instrumented, worker, spec)
+                    fut_info[fut] = (key, spec)
+                # as_completed so progress is live, not end-of-sweep.
+                for fut in as_completed(fut_info):
+                    key, spec = fut_info[fut]
+                    outcome, meta = fut.result()
+                    done[key] = outcome
+                    _note_done(reporter, metrics, key, spec, outcome, meta)
+            fresh = [(key, done[key]) for key, _ in pending]
         for (key, spec), (_, outcome) in zip(pending, fresh):
             outcomes[key] = outcome
             if cache is not None:
                 cache.put(key, outcome,
                           spec if isinstance(spec, Cell) else None)
 
+    if reporter is not None:
+        reporter.sweep_end(
+            cache_hits=(cache.hits - hits0) if cache is not None else 0,
+            cache_misses=(cache.misses - misses0) if cache is not None else 0)
+    if metrics is not None and cache is not None:
+        metrics.counter("cache_hits").inc(cache.hits - hits0)
+        metrics.counter("cache_misses").inc(cache.misses - misses0)
+
     return [outcomes[key] for key in keys]
 
 
 def execute(cells: Sequence[Cell], jobs: int = 1,
-            cache: ResultCache | None = None) -> list:
+            cache: ResultCache | None = None,
+            reporter=None, metrics=None) -> list:
     """Run every cell, in parallel, through the persistent cache.
 
     Returns outcomes aligned with ``cells`` (a :class:`RunResult` or
@@ -361,7 +468,8 @@ def execute(cells: Sequence[Cell], jobs: int = 1,
     ``jobs<=1`` runs in-process; otherwise misses fan out over a
     ``ProcessPoolExecutor`` with ``min(jobs, misses)`` workers.
     """
-    return execute_tasks(cells, run_cell, cell_key, jobs=jobs, cache=cache)
+    return execute_tasks(cells, run_cell, cell_key, jobs=jobs, cache=cache,
+                         reporter=reporter, metrics=metrics)
 
 
 def scale_cell(mix: str, scheme: str, sc,

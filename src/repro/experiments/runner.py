@@ -21,10 +21,13 @@ CLI's ``--jobs/--no-cache/--cache-dir``) sets the policy.
 
 from __future__ import annotations
 
+import sys
+
 from repro import ENGINES
 from repro.experiments import parallel
 from repro.experiments.common import Scale, get_scale
 from repro.experiments.parallel import Cell, CellFailure, ResultCache
+from repro.obs.progress import make_reporter
 from repro.sim.stats import RunResult
 from repro.workloads.mixes import ALL
 
@@ -37,17 +40,23 @@ _JOBS: int = parallel.default_jobs()
 _USE_CACHE: bool = not parallel.cache_disabled_by_env()
 _CACHE_DIR: str | None = None
 _DISK_CACHE: ResultCache | None = None
+#: Progress-telemetry setting ("0" off, "1" live line, else JSONL path);
+#: ``None`` defers to the REPRO_PROGRESS environment variable.
+_PROGRESS: str | None = None
 
 
 def configure(jobs: int | None = None, cache_dir: str | None = None,
-              use_cache: bool | None = None) -> None:
-    """Set the runner's parallelism and persistent-cache policy.
+              use_cache: bool | None = None,
+              progress: str | None = None) -> None:
+    """Set the runner's parallelism, persistent-cache and progress policy.
 
     ``None`` leaves a setting unchanged.  Changing ``cache_dir`` or
     ``use_cache`` drops the current :class:`ResultCache` handle (the
     next run opens the new location); the in-process memo is untouched.
+    ``progress`` follows the ``--progress`` convention: ``"0"`` off,
+    ``"1"`` live stderr line, anything else a JSONL event-stream path.
     """
-    global _JOBS, _CACHE_DIR, _USE_CACHE, _DISK_CACHE
+    global _JOBS, _CACHE_DIR, _USE_CACHE, _DISK_CACHE, _PROGRESS
     if jobs is not None:
         _JOBS = max(1, int(jobs))
     if cache_dir is not None:
@@ -56,6 +65,8 @@ def configure(jobs: int | None = None, cache_dir: str | None = None,
     if use_cache is not None:
         _USE_CACHE = bool(use_cache)
         _DISK_CACHE = None
+    if progress is not None:
+        _PROGRESS = progress
 
 
 def disk_cache() -> ResultCache | None:
@@ -86,19 +97,43 @@ def run_cells(cells: list[Cell]) -> list:
     """Run arbitrary cells under the runner's jobs/cache policy.
 
     Returns outcomes aligned with ``cells`` (RunResult or CellFailure),
-    memoising RunResults in-process like :func:`run_mix` does.
+    memoising RunResults in-process like :func:`run_mix` does.  When a
+    sweep produced any :class:`CellFailure` outcomes, a per-kind summary
+    is printed to stderr — failures are legitimate data points, but they
+    should never scroll past silently.
     """
     keys = [parallel.cell_key(c) for c in cells]
     missing = [(k, c) for k, c in zip(keys, cells) if k not in _MEMO]
     fresh: dict[str, object] = {}
     if missing:
-        outcomes = parallel.execute([c for _, c in missing],
-                                    jobs=_JOBS, cache=disk_cache())
+        reporter = make_reporter(_PROGRESS)
+        try:
+            outcomes = parallel.execute([c for _, c in missing],
+                                        jobs=_JOBS, cache=disk_cache(),
+                                        reporter=reporter)
+        finally:
+            if reporter is not None:
+                reporter.close()
         for (key, _), outcome in zip(missing, outcomes):
             fresh[key] = outcome
             if isinstance(outcome, RunResult):
                 _MEMO[key] = outcome
-    return [_MEMO.get(key) or fresh[key] for key in keys]
+    results = [_MEMO.get(key) or fresh[key] for key in keys]
+    failures = [(c, o) for c, o in zip(cells, results)
+                if isinstance(o, CellFailure)]
+    if failures:
+        by_kind: dict[str, int] = {}
+        for _, f in failures:
+            by_kind[f.kind] = by_kind.get(f.kind, 0) + 1
+        detail = ", ".join(f"{k}: {n}" for k, n in sorted(by_kind.items()))
+        print(f"run_cells: {len(failures)}/{len(cells)} cells failed "
+              f"({detail})", file=sys.stderr)
+        for cell, f in failures[:5]:
+            print(f"  {cell.mix}/{cell.scheme}: {f.kind}: {f.message}",
+                  file=sys.stderr)
+        if len(failures) > 5:
+            print(f"  ... and {len(failures) - 5} more", file=sys.stderr)
+    return results
 
 
 def run_mix(mix: str, scheme: str, scale: str | Scale = "quick",

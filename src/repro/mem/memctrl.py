@@ -14,6 +14,7 @@ from repro.mem.dram import DRAM
 from repro.mem.spaces import DATA, SPACE_SHIFT
 from repro.sim.config import DRAMConfig
 from repro.sim.hist import HistogramSet
+from repro.sim.profiler import NULL_PROFILER
 
 #: Tagged addresses at or above this value live in a metadata space
 #: (``spaces.DATA`` is space 0, so the comparison replaces the
@@ -36,6 +37,10 @@ class TrafficStats:
 
 class MemoryController:
     """Routes block requests to DRAM and keeps traffic accounting."""
+
+    #: Class-level default so the hot path never None-checks; the
+    #: simulator installs a real profiler instance-wide when profiling.
+    profiler = NULL_PROFILER
 
     def __init__(self, config: DRAMConfig) -> None:
         self.dram = DRAM(config)
@@ -75,6 +80,10 @@ class MemoryController:
             lambda: self.dram.stats.reads + self.dram.stats.writes)
 
     def read(self, addr: int, now: float) -> float:
+        prof = self.profiler
+        profiling = prof.enabled
+        if profiling:
+            prof.push("dram")
         traffic = self.traffic
         if addr >= _METADATA_BASE:
             traffic.metadata_reads += 1
@@ -84,11 +93,19 @@ class MemoryController:
             traffic.data_reads += 1
             lat = self.dram.read(addr, now)
             self._h_data.record(lat)
+        if profiling:
+            prof.pop()
         return lat
 
     def write(self, addr: int, now: float) -> None:
+        prof = self.profiler
+        profiling = prof.enabled
+        if profiling:
+            prof.push("dram")
         if addr >= _METADATA_BASE:
             self.traffic.metadata_writes += 1
         else:
             self.traffic.data_writes += 1
         self.dram.write(addr, now)
+        if profiling:
+            prof.pop()

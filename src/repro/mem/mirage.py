@@ -59,9 +59,18 @@ class MirageCache(Cache):
     def _candidates(self, addr: int) -> tuple[int, int]:
         cand = self._cand.get(addr)
         if cand is None:
+            # Profiler guard lives on the memoization *miss* branch only:
+            # memoized probes (the overwhelming majority once the working
+            # set is warm) never touch it.
+            prof = self.profiler
+            profiling = prof.enabled
+            if profiling:
+                prof.push("mirage_hash")
             cand = self._cand[addr] = (
                 _mix(addr, self._key0) % self.n_sets,
                 _mix(addr, self._key1) % self.n_sets)
+            if profiling:
+                prof.pop()
         return cand
 
     def set_index(self, addr: int) -> int:  # pragma: no cover - unused path

@@ -1,0 +1,12 @@
+"""Observability facade: labeled metrics and experiment progress.
+
+The simulator's own counters live in :class:`repro.sim.registry.
+StatsRegistry` (model-truth accounting with conservation laws).  This
+package is the *operational* layer on top: lightweight labeled
+counters/gauges/timers for harness-side measurements
+(:mod:`repro.obs.metrics`) and structured progress events for long
+sweeps (:mod:`repro.obs.progress`).
+"""
+
+from repro.obs.metrics import Metrics  # noqa: F401
+from repro.obs.progress import ProgressReporter, make_reporter  # noqa: F401

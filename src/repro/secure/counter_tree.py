@@ -169,6 +169,10 @@ class SgxCounterTreeEngine(BaselineEngine):
                      for_write: bool) -> float:
         lat = super()._verify_path(domain, pfn, now, for_write)
         if for_write:
+            prof = self.profiler
+            profiling = prof.enabled
+            if profiling:
+                prof.push("tree_update")
             # counter-tree write: the path's nodes are dirtied up to the
             # first cached level (they hold incremented counters now)
             for addr in self.geo.path_addrs(pfn):
@@ -176,4 +180,6 @@ class SgxCounterTreeEngine(BaselineEngine):
                     self.tree_cache.lookup(addr, is_write=True)
                     break
                 self._fill(self.tree_cache, addr, now + lat, dirty=True)
+            if profiling:
+                prof.pop()
         return lat

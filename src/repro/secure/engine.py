@@ -24,6 +24,7 @@ from repro.mem.mirage import make_cache
 from repro.secure.bmt import TreeGeometry
 from repro.sim.config import BLOCKS_PER_PAGE, MachineConfig
 from repro.sim.hist import HistogramSet
+from repro.sim.profiler import NULL_PROFILER
 from repro.sim.stats import EngineStats
 from repro.sim.trace import NULL_TRACER
 
@@ -42,6 +43,7 @@ class SecureMemoryEngine(ABC):
 
     name = "abstract"
     tracer = NULL_TRACER
+    profiler = NULL_PROFILER
 
     def __init__(self, config: MachineConfig, seed: int = 11) -> None:
         self.config = config
@@ -183,6 +185,15 @@ class SecureMemoryEngine(ABC):
         for cache in (self.counter_cache, self.mac_cache, self.tree_cache):
             cache.tracer = tracer
 
+    def set_profiler(self, profiler) -> None:
+        """Install ``profiler`` on this engine and everything behind it
+        (the DRAM controller's "dram" phase, the metadata caches'
+        "mirage_hash" phase when they are randomized)."""
+        self.profiler = profiler
+        self.mc.profiler = profiler
+        for cache in (self.counter_cache, self.mac_cache, self.tree_cache):
+            cache.profiler = profiler
+
     @staticmethod
     def data_addr(pfn: int, block_in_page: int) -> int:
         return spaces.tag(spaces.DATA, pfn * BLOCKS_PER_PAGE + block_in_page)
@@ -224,8 +235,17 @@ class SecureMemoryEngine(ABC):
             self.stats.data_reads += 1
         # data_addr is the identity tagging (DATA space is 0).
         lat_data = self._mread(pfn * BLOCKS_PER_PAGE + block_in_page, now)
+        prof = self.profiler
+        profiling = prof.enabled
+        if profiling:
+            prof.push("mac")
         lat_mac = self._mac_access(pfn, block_in_page, now, dirty=is_write)
+        if profiling:
+            prof.pop()
+            prof.push("verify")
         lat_meta = self._verify_path(domain, pfn, now, for_write=is_write)
+        if profiling:
+            prof.pop()
         # Decryption needs the verified counter; OTP generation overlaps
         # the data fetch, so only the residual AES latency serialises.
         lat_meta += self._aes_lat
@@ -243,8 +263,17 @@ class SecureMemoryEngine(ABC):
         if self.tracer.enabled:
             self.tracer.instant("engine", "writeback", ts=now,
                                 domain=domain, pfn=pfn)
+        prof = self.profiler
+        profiling = prof.enabled
+        if profiling:
+            prof.push("verify")
         self._verify_path(domain, pfn, now, for_write=True)
+        if profiling:
+            prof.pop()
+            prof.push("mac")
         self._mac_access(pfn, block_in_page, now, dirty=True)
+        if profiling:
+            prof.pop()
         self._mwrite(self.data_addr(pfn, block_in_page), now)
         writes = self._page_writes.get(pfn, 0) + 1
         if writes >= self.overflow_writes_per_page:
@@ -279,7 +308,13 @@ class SecureMemoryEngine(ABC):
         # Counter write-back + dirty tree-path update (scheme-specific
         # walk: partition offsets, TreeLing slots, VAULT arities).
         self._mwrite(self._counter_addr(pfn), now)
+        prof = self.profiler
+        profiling = prof.enabled
+        if profiling:
+            prof.push("verify")
         self._verify_path(domain, pfn, now, for_write=True)
+        if profiling:
+            prof.pop()
 
     # -- page / domain lifecycle (overridden by IvLeague) ---------------------------------
 
@@ -320,7 +355,14 @@ class BaselineEngine(SecureMemoryEngine):
                      for_write: bool) -> float:
         tracing = self.tracer.enabled
         ctr_addr = self.geo.counter_addr(pfn)
-        if self.counter_cache.lookup(ctr_addr, is_write=for_write):
+        prof = self.profiler
+        profiling = prof.enabled
+        if profiling:
+            prof.push("counter_probe")
+        ctr_hit = self.counter_cache.lookup(ctr_addr, is_write=for_write)
+        if profiling:
+            prof.pop()
+        if ctr_hit:
             self.stats.counter_hits += 1
             if tracing:
                 self.tracer.instant("tree", "counter_hit", ts=now, pfn=pfn)

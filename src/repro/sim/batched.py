@@ -76,13 +76,14 @@ def core_from_env(default: str = "batched") -> str:
 
 
 def make_simulator(core: str, config, engine, seed: int = 123,
-                   frame_policy: str = "sequential", tracer=None):
+                   frame_policy: str = "sequential", tracer=None,
+                   profiler=None):
     """Build the requested simulator core ("batched" or "scalar")."""
     if core not in _VALID_CORES:
         raise ValueError(f"unknown core {core!r}: expected {_VALID_CORES}")
     cls = BatchedSimulator if core == "batched" else Simulator
     return cls(config, engine, seed=seed, frame_policy=frame_policy,
-               tracer=tracer)
+               tracer=tracer, profiler=profiler)
 
 
 class BatchedSimulator(Simulator):

@@ -44,6 +44,35 @@ def git_sha() -> Optional[str]:
     return sha if out.returncode == 0 and len(sha) == 40 else None
 
 
+def peak_rss_kb() -> int:
+    """Peak resident-set size of this process in kilobytes.
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS; normalised
+    here so artifacts compare across hosts.  Returns 0 where the
+    ``resource`` module is unavailable (non-POSIX)."""
+    try:
+        import resource
+    except ImportError:   # pragma: no cover - non-POSIX platforms
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if platform.system() == "Darwin":   # pragma: no cover - macOS only
+        rss //= 1024
+    return int(rss)
+
+
+def host_facts() -> dict:
+    """Facts about the machine an artifact was produced on — the same
+    block ``BENCH_runner.json`` carries, so stats dumps and benchmark
+    records are comparable by host."""
+    return {
+        "cpus": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "peak_rss_kb": peak_rss_kb(),
+    }
+
+
 def run_manifest(config=None, seed: Optional[int] = None, **extra) -> dict:
     """Build the provenance manifest embedded in every JSON artifact."""
     from repro import __version__
@@ -55,6 +84,7 @@ def run_manifest(config=None, seed: Optional[int] = None, **extra) -> dict:
         "git_sha": git_sha(),
         "python": platform.python_version(),
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host": host_facts(),
     }
     if config is not None:
         manifest["config_hash"] = config_hash(config)

@@ -29,6 +29,7 @@ from repro.secure.engine import SecureMemoryEngine
 from repro.sim.config import BLOCKS_PER_PAGE, MachineConfig
 from repro.sim.cpu import CoreModel
 from repro.sim.hist import HistogramSet
+from repro.sim.profiler import NULL_PROFILER
 from repro.sim.registry import StatsRegistry
 from repro.sim.stats import CoreStats, RunResult
 from repro.sim.trace import NULL_TRACER
@@ -66,7 +67,7 @@ class Simulator:
 
     def __init__(self, config: MachineConfig, engine: SecureMemoryEngine,
                  seed: int = 123, frame_policy: str = "sequential",
-                 tracer=None) -> None:
+                 tracer=None, profiler=None) -> None:
         # ``sequential`` models a freshly booted buddy allocator (what the
         # paper's full-system runs see): first-touch faults land in mostly
         # contiguous frames, so the static baseline mapping gets its
@@ -105,9 +106,12 @@ class Simulator:
         self._h_fault = self.hists.get("page_fault")
         self._h_walk = self.hists.get("tlb_walk")
         self.tracer = NULL_TRACER
+        self.profiler = NULL_PROFILER
         self.registry = self._build_registry()
         if tracer is not None:
             self.set_tracer(tracer)
+        if profiler is not None:
+            self.set_profiler(profiler)
 
     def set_tracer(self, tracer) -> None:
         """Install one tracer across the whole machine (hierarchy, TLB,
@@ -117,6 +121,16 @@ class Simulator:
         self.hierarchy.set_tracer(tracer)
         self.tlb.tracer = tracer
         self.engine.set_tracer(tracer)
+
+    def set_profiler(self, profiler) -> None:
+        """Install one phase profiler across the machine (engine, DRAM,
+        caches; page tables pick it up at run start).  Pass
+        ``NULL_PROFILER`` to turn profiling back off."""
+        self.profiler = profiler
+        self.hierarchy.set_profiler(profiler)
+        self.engine.set_profiler(profiler)
+        for st in self._states:
+            st.page_table.profiler = profiler
 
     def _build_registry(self) -> StatsRegistry:
         """Register every stat-bearing component of this machine plus
@@ -244,8 +258,14 @@ class Simulator:
 
         if (t.churn_every and i and i % t.churn_every == 0
                 and len(st.live_list) > 16):
+            prof = self.profiler
+            profiling = prof.enabled
+            if profiling:
+                prof.push("churn")
             t0 = st.clock
             st.clock += self._churn(st, st.clock)
+            if profiling:
+                prof.pop()
             if tracing:
                 tr.complete("sim", "churn", ts=t0, dur=st.clock - t0,
                             core=ci, domain=st.domain)
@@ -264,7 +284,13 @@ class Simulator:
 
         pfn = st.live.get(slot)
         if pfn is None:
+            prof = self.profiler
+            profiling = prof.enabled
+            if profiling:
+                prof.push("page_fault")
             lat = self._alloc_page(st, slot, st.clock)
+            if profiling:
+                prof.pop()
             self._h_fault.record(lat)
             if tracing:
                 tr.complete("page", "fault", ts=st.clock, dur=lat,
@@ -272,8 +298,14 @@ class Simulator:
             st.clock += lat
             pfn = st.live[slot]
         elif self.tlb.lookup(st.domain, st.vpn_base + slot) is None:
+            prof = self.profiler
+            profiling = prof.enabled
+            if profiling:
+                prof.push("tlb_walk")
             lat = self._page_walk(ci, st.domain, st.page_table,
                                   st.vpn_base + slot, st.clock)
+            if profiling:
+                prof.pop()
             self._h_walk.record(lat)
             if tracing:
                 tr.complete("tlb", "walk", ts=st.clock, dur=lat,
@@ -372,11 +404,30 @@ class Simulator:
             st.warmup_clock = 0.0
             states.append(st)
         self._states = states
+        prof = self.profiler
+        profiling = prof.enabled
+        if profiling:
+            for table in tables.values():
+                table.profiler = prof
+            prof.run_begin()
 
+        # The "scheduler" root phase wraps only the drain loops, not the
+        # whole method: the unattributed residue of an externally timed
+        # run is setup + result assembly, so the profiler's coverage
+        # self-check stays falsifiable (see repro.sim.profiler).
         if warmup:
+            if profiling:
+                prof.push("scheduler")
             self._drain(states, warmup)
+            if profiling:
+                prof.pop()
             self._reset_measurement(states)
+        if profiling:
+            prof.push("scheduler")
         self._drain(states, max(len(st.trace) for st in states))
+        if profiling:
+            prof.pop()
+            prof.run_end()
 
         result = RunResult(scheme=self.engine.name, workload=workload.name)
         for st in states:
@@ -400,10 +451,10 @@ def run_workload(config: MachineConfig, engine_cls, workload: WorkloadSpec,
                  seed: int = 123, warmup: int = 0,
                  frame_policy: str = "sequential",
                  check_invariants: bool | None = None,
-                 tracer=None, **engine_kwargs) -> RunResult:
+                 tracer=None, profiler=None, **engine_kwargs) -> RunResult:
     """Convenience: build an engine, run one workload, return the result."""
     engine = engine_cls(config, seed=seed, **engine_kwargs)
     sim = Simulator(config, engine, seed=seed, frame_policy=frame_policy,
-                    tracer=tracer)
+                    tracer=tracer, profiler=profiler)
     return sim.run(workload, warmup=warmup,
                    check_invariants=check_invariants)

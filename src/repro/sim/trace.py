@@ -176,6 +176,8 @@ def chrome_payload(tracers: Mapping[str, "EventTracer"],
             events.append(ev)
     meta = dict(manifest or {})
     meta.setdefault("trace_schema_version", TRACE_SCHEMA_VERSION)
+    meta["emitted_events"] = {label: t.emitted
+                              for label, t in tracers.items()}
     dropped = {label: t.dropped for label, t in tracers.items()
                if t.dropped}
     if dropped:

@@ -1,0 +1,231 @@
+"""Tests for the harness-observability layer: labeled metrics
+(snapshot/merge/registry integration), the sweep progress reporter and
+its JSONL event schema, telemetry through ``execute_tasks`` including
+failure visibility, and the runner's end-of-sweep failure summary."""
+
+import io
+import json
+
+import pytest
+
+from repro.experiments import parallel
+from repro.experiments.parallel import CellFailure, ResultCache, execute_tasks
+from repro.obs.metrics import Metrics, series_key
+from repro.obs.progress import PROGRESS_ENV, ProgressReporter, make_reporter
+from repro.sim.registry import StatsRegistry
+
+
+class TestSeriesKey:
+    def test_bare_name(self):
+        assert series_key("cells", {}) == "cells"
+
+    def test_labels_sorted_into_identity(self):
+        assert series_key("cells", {"scheme": "pro", "mix": "S-1"}) \
+            == "cells{mix=S-1,scheme=pro}"
+
+
+class TestMetrics:
+    def test_instruments_are_memoized_per_series(self):
+        m = Metrics()
+        assert m.counter("a") is m.counter("a")
+        assert m.counter("a", mix="S-1") is not m.counter("a", mix="S-2")
+        assert m.gauge("g") is m.gauge("g")
+        assert m.timer("t") is m.timer("t")
+
+    def test_counter_gauge_timer_mechanics(self):
+        m = Metrics()
+        m.counter("c").inc()
+        m.counter("c").inc(4)
+        m.gauge("g").set(3.0)
+        m.gauge("g").set_max(2.0)   # lower: ignored
+        m.gauge("g").set_max(9.0)
+        m.timer("t").observe(1.5)
+        with m.timer("t").time():
+            pass
+        snap = m.snapshot()
+        assert snap["counters"]["c"] == 5
+        assert snap["gauges"]["g"] == 9.0
+        assert snap["timers"]["t"]["count"] == 2
+        assert snap["timers"]["t"]["total_s"] >= 1.5
+        assert m.timer("t").mean_s == pytest.approx(
+            snap["timers"]["t"]["total_s"] / 2)
+
+    def test_merge_adds_counters_and_timers_maxes_gauges(self):
+        parent, worker = Metrics(), Metrics()
+        parent.counter("cells").inc(2)
+        parent.gauge("rss").set(100)
+        parent.timer("wall").observe(1.0)
+        worker.counter("cells").inc(3)
+        worker.gauge("rss").set(70)
+        worker.timer("wall").observe(0.5)
+        parent.merge(worker.snapshot())
+        snap = parent.snapshot()
+        assert snap["counters"]["cells"] == 5
+        assert snap["gauges"]["rss"] == 100    # max, not sum
+        assert snap["timers"]["wall"] == {"total_s": 1.5, "count": 2}
+
+    def test_reset_zeroes_but_keeps_series(self):
+        m = Metrics()
+        m.counter("c").inc(7)
+        m.timer("t").observe(2.0)
+        m.reset()
+        snap = m.snapshot()
+        assert snap["counters"]["c"] == 0
+        assert snap["timers"]["t"] == {"total_s": 0.0, "count": 0}
+
+    def test_register_publishes_into_stats_registry(self):
+        reg = StatsRegistry()
+        m = Metrics()
+        m.register(reg)
+        m.counter("cells", mix="S-1").inc(3)
+        m.gauge("rss").set(42.0)
+        m.timer("wall").observe(0.25)
+        snap = reg.snapshot()["obs"]
+        assert snap["counter.cells{mix=S-1}"] == 3
+        assert snap["gauge.rss"] == 42.0
+        assert snap["timer.wall.count"] == 1
+        reg.reset_all()
+        assert reg.snapshot()["obs"]["counter.cells{mix=S-1}"] == 0
+
+
+class TestMakeReporter:
+    def test_off_settings(self):
+        assert make_reporter("") is None
+        assert make_reporter("0") is None
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(PROGRESS_ENV, "0")
+        assert make_reporter(None) is None
+        monkeypatch.setenv(PROGRESS_ENV, "1")
+        rep = make_reporter(None, stream=io.StringIO())
+        assert rep is not None and rep._jsonl is None
+        rep.close()
+
+    def test_path_setting_opens_jsonl(self, tmp_path):
+        path = tmp_path / "ev" / "prog.jsonl"
+        rep = make_reporter(str(path), stream=io.StringIO())
+        rep.sweep_start(total=1, cached=0, jobs=1)
+        rep.sweep_end()
+        rep.close()
+        events = [json.loads(ln) for ln in
+                  path.read_text().splitlines()]
+        assert [e["event"] for e in events] == ["sweep_start", "sweep_end"]
+        assert all("ts" in e for e in events)
+
+
+class TestProgressReporter:
+    def test_event_stream_schema(self, tmp_path):
+        path = tmp_path / "prog.jsonl"
+        rep = ProgressReporter(jsonl_path=str(path), stream=io.StringIO())
+        rep.sweep_start(total=3, cached=1, jobs=2)
+        rep.cell_cached("k0", label="S-1/baseline")
+        rep.cell_start("k1", label="S-1/pro")
+        rep.cell_finish("k1", label="S-1/pro", wall_s=0.5, peak_rss_kb=900)
+        rep.cell_failed("k2", "treeling-starvation", "no slots",
+                        label="L-2/pro", wall_s=0.1, peak_rss_kb=800)
+        rep.sweep_end(cache_hits=1, cache_misses=2)
+        rep.close()
+        events = {e["event"]: e for e in
+                  (json.loads(ln) for ln in path.read_text().splitlines())}
+        assert events["sweep_start"]["pending"] == 2
+        assert events["cell_finish"]["peak_rss_kb"] == 900
+        assert events["cell_failed"]["kind"] == "treeling-starvation"
+        end = events["sweep_end"]
+        assert end["completed"] == 1 and end["failed"] == 1
+        assert end["cache_hit_ratio"] == pytest.approx(1 / 3, abs=1e-4)
+        # busy 0.6s over jobs=2: utilization = busy / (jobs * wall)
+        assert end["worker_utilization"] == pytest.approx(
+            end["busy_s"] / (2 * end["wall_s"]), rel=1e-2)
+
+    def test_non_tty_stream_gets_plain_lines(self):
+        stream = io.StringIO()
+        rep = ProgressReporter(stream=stream)
+        rep.sweep_start(total=2, cached=0, jobs=1)
+        rep.cell_finish("k", wall_s=0.5)
+        rep.cell_failed("k2", "boom", "msg")
+        rep.sweep_end()
+        text = stream.getvalue()
+        assert "\r" not in text
+        assert "cells 2/2" in text and "1 FAILED" in text
+
+
+def _flaky_worker(spec):
+    if spec == "bad":
+        return CellFailure("boom", "deterministic failure")
+    return ("ok", spec)
+
+
+class TestExecuteTasksTelemetry:
+    def test_lifecycle_events_and_metrics(self, tmp_path):
+        path = tmp_path / "prog.jsonl"
+        rep = ProgressReporter(jsonl_path=str(path), stream=io.StringIO())
+        m = Metrics()
+        out = execute_tasks(["a", "bad", "c"], _flaky_worker, str,
+                            jobs=1, reporter=rep, metrics=m)
+        rep.close()
+        assert out == [("ok", "a"),
+                       CellFailure("boom", "deterministic failure"),
+                       ("ok", "c")]
+        events = [json.loads(ln) for ln in path.read_text().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "sweep_start" and kinds[-1] == "sweep_end"
+        assert kinds.count("cell_start") == 3
+        assert kinds.count("cell_finish") == 2
+        failed = [e for e in events if e["event"] == "cell_failed"]
+        assert len(failed) == 1
+        assert failed[0]["kind"] == "boom"
+        assert failed[0]["label"] == "str"   # non-Cell spec: type name
+        counters = m.snapshot()["counters"]
+        assert counters["cells_total"] == 3
+        assert counters["cells_finished"] == 2
+        assert counters["cells_failed"] == 1
+        assert m.snapshot()["timers"]["cell_wall"]["count"] == 3
+        assert m.snapshot()["gauges"]["peak_rss_kb"] > 0
+
+    def test_cached_cells_visible_in_stream(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", payload_types=(tuple,))
+        execute_tasks(["a", "b"], _flaky_worker, str, jobs=1, cache=cache)
+        path = tmp_path / "prog.jsonl"
+        rep = ProgressReporter(jsonl_path=str(path), stream=io.StringIO())
+        m = Metrics()
+        out = execute_tasks(["a", "b"], _flaky_worker, str, jobs=1,
+                            cache=cache, reporter=rep, metrics=m)
+        rep.close()
+        assert out == [("ok", "a"), ("ok", "b")]
+        events = [json.loads(ln) for ln in path.read_text().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds.count("cell_cached") == 2
+        assert kinds.count("cell_start") == 0
+        end = [e for e in events if e["event"] == "sweep_end"][0]
+        assert end["cache_hits"] == 2 and end["cache_hit_ratio"] == 1.0
+        counters = m.snapshot()["counters"]
+        assert counters["cells_cached"] == 2
+        assert counters["cache_hits"] == 2
+
+    def test_untelemetered_path_unchanged(self):
+        out = execute_tasks(["a", "bad"], _flaky_worker, str, jobs=1)
+        assert out == [("ok", "a"),
+                       CellFailure("boom", "deterministic failure")]
+
+
+class TestRunnerFailureSummary:
+    def test_run_cells_prints_per_kind_summary(self, capsys, monkeypatch):
+        from repro.experiments import runner
+        from repro.experiments.common import get_scale
+        cells = [parallel.scale_cell(mix, "ivleague-pro",
+                                     get_scale("quick"))
+                 for mix in ("S-1", "S-2", "M-1")]
+        outcomes = [CellFailure("treeling-starvation", "no free slots"),
+                    CellFailure("out-of-memory", "heap exhausted"),
+                    CellFailure("treeling-starvation", "no free slots")]
+        monkeypatch.setattr(
+            parallel, "execute",
+            lambda specs, jobs=1, cache=None, reporter=None, metrics=None:
+            outcomes[:len(specs)])
+        results = runner.run_cells(cells)
+        assert results == outcomes
+        err = capsys.readouterr().err
+        assert "3/3 cells failed" in err
+        assert "treeling-starvation: 2" in err
+        assert "out-of-memory: 1" in err
+        assert "S-1/ivleague-pro" in err

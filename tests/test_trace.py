@@ -83,6 +83,10 @@ class TestEventTracer:
         pids = {e["pid"] for e in payload["traceEvents"] if e["ph"] != "M"}
         assert pids == {0, 1}
         assert payload["metadata"]["seed"] == 7
+        assert payload["metadata"]["emitted_events"] \
+            == {"baseline": 1, "ivleague-pro": 1}
+        # no drops: the dropped_events key stays absent
+        assert "dropped_events" not in payload["metadata"]
 
 
 class TestValidator:
@@ -235,6 +239,53 @@ class TestOverheadGuard:
             f"estimated NullTracer overhead {overhead:.4f}s vs "
             f"run {run_time:.4f}s ({100 * overhead / run_time:.1f}%)")
 
+    def test_batched_core_disabled_telemetry_under_5_percent(
+            self, tiny, monkeypatch):
+        """REPRO_CORE=batched with tracer, profiler and metrics off
+        must stay under a 5% telemetry budget.
+
+        Tighter than the scalar bound because the batched committed
+        fast path carries no hooks at all — guard checks happen only on
+        slow paths (engine calls, faults, walks).  The count is exact:
+        ``enabled`` on both null singletons becomes a counting property
+        for one run, then the product with a microbenchmarked guard
+        cost is compared against an uninstrumented run's wall time.
+        """
+        from repro.sim import profiler as profiler_mod
+        from repro.sim.batched import BatchedSimulator
+        wl = _wl(2000)
+        counts = {"n": 0}
+
+        def _counting(self):
+            counts["n"] += 1
+            return False
+
+        with monkeypatch.context() as mp:
+            mp.setattr(NullTracer, "enabled", property(_counting))
+            mp.setattr(profiler_mod.NullProfiler, "enabled",
+                       property(_counting))
+            BatchedSimulator(tiny, BaselineEngine(tiny)).run(wl)
+        n_checks = counts["n"]
+        assert n_checks > 0, "no guard site was exercised at all"
+        # wall time of the same run with plain (restored) nulls
+        run_time = float("inf")
+        for _ in range(2):
+            sim = BatchedSimulator(tiny, BaselineEngine(tiny))
+            t0 = time.perf_counter()
+            sim.run(wl)
+            run_time = min(run_time, time.perf_counter() - t0)
+        t = NULL_TRACER
+        n_bench = 100_000
+        loop = min(timeit.repeat("pass", number=n_bench, repeat=5))
+        check = min(timeit.repeat("t.enabled and None", globals={"t": t},
+                                  number=n_bench, repeat=5))
+        per_check = max(check - loop, 0.0) / n_bench
+        overhead = n_checks * per_check * 3   # 3x estimator margin
+        assert overhead < 0.05 * run_time, (
+            f"estimated batched-core telemetry overhead {overhead:.4f}s "
+            f"({n_checks} guard checks) vs run {run_time:.4f}s "
+            f"({100 * overhead / run_time:.1f}%)")
+
 
 class TestCliTraceProfile:
     def test_run_with_trace_profile_and_manifest(self, capsys, tmp_path):
@@ -272,3 +323,6 @@ class TestCliTraceProfile:
         n_events = sum(1 for e in payload["traceEvents"] if e["ph"] != "M")
         assert n_events <= 500
         assert payload["metadata"]["dropped_events"]["baseline"] > 0
+        emitted = payload["metadata"]["emitted_events"]["baseline"]
+        assert emitted == n_events \
+            + payload["metadata"]["dropped_events"]["baseline"]
