@@ -5,6 +5,7 @@ Commands
 run            simulate one workload mix under one or all schemes
 attack         run the MetaLeak demonstration
 verify-oracle  differential functional-vs-timing replay + fault campaigns
+check-leakage  paired-secret leakage contracts + mutation self-proof
 experiment     regenerate one paper table/figure by id (fig15, tab3, ...)
 ablations      run the beyond-the-paper ablation studies
 list           show available mixes, schemes and experiment ids
@@ -229,6 +230,97 @@ def _cmd_verify_oracle(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_check_leakage(args) -> int:
+    """Paired-secret leakage contracts over observable traces, plus the
+    mutation self-proof; exits non-zero on any isolation violation,
+    power-control failure or undetected mutation (the CI
+    ``leakage-smoke`` gate)."""
+    import json
+    import os
+
+    from repro.experiments.parallel import default_jobs
+    from repro.obs.leakage import (DEFAULT_SCHEMES, QUICK_SCHEMES,
+                                   build_report, contract_of,
+                                   default_pair_specs, leakage_matrix,
+                                   mutation_matrix, mutation_pair_specs,
+                                   pair_cache, record_leakage_metrics,
+                                   run_pairs)
+    from repro.obs.metrics import Metrics
+    from repro.sim.provenance import run_manifest
+
+    if args.schemes == "default":
+        schemes = QUICK_SCHEMES if args.quick else DEFAULT_SCHEMES
+    else:
+        schemes = tuple(args.schemes.split(","))
+    mixes = tuple(args.mixes.split(","))
+    rounds = 24 if args.quick else args.rounds
+    jobs = args.jobs if args.jobs else default_jobs()
+    cache = None
+    if not args.no_cache:
+        root = (os.path.join(args.cache_dir, "leakage")
+                if args.cache_dir else None)
+        cache = pair_cache(root)
+
+    specs = default_pair_specs(schemes=schemes, mixes=mixes,
+                               pairs=args.pairs, rounds=rounds,
+                               seed=args.seed)
+    results = run_pairs(specs, jobs=jobs, cache=cache)
+    matrix = leakage_matrix(results)
+
+    print(f"{'scheme':18s} {'mix':5s} {'contract':11s} "
+          f"{'max MI':>8s}  verdict")
+    for res in results:
+        if res.contract == "exact":
+            verdict = ("isolated" if res.ok else
+                       f"{len(res.violations)} VIOLATION(S)")
+        else:
+            verdict = ("leaks (as expected)" if res.leaked
+                       else "no measurable leakage")
+            if res.violations:
+                verdict = f"{len(res.violations)} VIOLATION(S)"
+        print(f"{res.scheme:18s} {res.mix:5s} {res.contract:11s} "
+              f"{res.max_mi:8.3f}  {verdict}")
+        for v in res.violations[:3]:
+            print(f"    !! {v}")
+    for line in matrix["power_failures"]:
+        print(f"  !! {line}")
+    ok = matrix["ok"]
+
+    mutated = []
+    if not args.skip_mutations:
+        mut_specs = mutation_pair_specs(schemes, mix=mixes[0],
+                                        rounds=min(rounds, 24),
+                                        seed=args.seed)
+        mutated = run_pairs(mut_specs, jobs=jobs, cache=cache)
+        mut = mutation_matrix(mutated)
+        ok &= mut["ok"]
+        print("\nmutation self-proof (every model leak must trip the "
+              "checker):")
+        for key, hit in sorted(mut["detected"].items()):
+            print(f"  {key:42s} {'detected' if hit else 'NOT DETECTED'}")
+        if not mut["detected"]:
+            print("  (no exact-contract scheme selected -- nothing to "
+                  "mutate)")
+
+    metrics = Metrics()
+    record_leakage_metrics(metrics, results)
+
+    if args.report:
+        manifest = run_manifest(seed=args.seed, schemes=list(schemes),
+                                mixes=list(mixes), rounds=rounds,
+                                pairs=args.pairs)
+        payload = build_report(results, mutated, manifest=manifest)
+        payload["metrics"] = metrics.snapshot()
+        parent = os.path.dirname(os.path.abspath(args.report))
+        os.makedirs(parent, exist_ok=True)
+        with open(args.report, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+        print(f"\nwrote leakage report to {args.report}")
+    contracts = ", ".join(f"{s}={contract_of(s)}" for s in schemes)
+    print(f"\ncheck-leakage ({contracts}):", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
 _EXPERIMENTS = {
     "fig3": "fig03_attack", "fig15": "fig15_weighted_ipc",
     "fig16": "fig16_path_length", "fig17": "fig17_nfl",
@@ -382,6 +474,34 @@ def build_parser() -> argparse.ArgumentParser:
                      help="skip the engine-bug sensitivity arm")
     _add_runner_flags(vor)
     vor.set_defaults(func=_cmd_verify_oracle)
+
+    lkg = sub.add_parser(
+        "check-leakage",
+        help="paired-secret runs per scheme: exact non-interference for "
+             "isolation schemes, measured MI for leaky ones, plus the "
+             "mutation self-proof")
+    lkg.add_argument("--quick", action="store_true",
+                     help="short rounds + the CI smoke scheme set")
+    lkg.add_argument("--schemes", default="default", metavar="S1,S2",
+                     help="comma-separated scheme list; '+mirage' "
+                          "suffixes enable randomized metadata caches "
+                          "(default: the smoke or full grid)")
+    lkg.add_argument("--mixes", default="S-1", metavar="M1,M2",
+                     help="Table II mixes driving the mix-replay "
+                          "observer")
+    lkg.add_argument("--pairs", type=int, default=1, metavar="N",
+                     help="paired-secret replicas per scheme x mix "
+                          "(seeds seed..seed+N-1)")
+    lkg.add_argument("--rounds", type=int, default=48,
+                     help="victim key bits per pair (24 with --quick)")
+    lkg.add_argument("--seed", type=int, default=0)
+    lkg.add_argument("--report", default=None, metavar="PATH",
+                     help="write the JSON leakage report (verdicts, "
+                          "first divergences, MI estimates) to PATH")
+    lkg.add_argument("--skip-mutations", action="store_true",
+                     help="skip the mutation self-proof arm")
+    _add_runner_flags(lkg)
+    lkg.set_defaults(func=_cmd_check_leakage)
 
     exp = sub.add_parser("experiment", help="regenerate a table/figure")
     exp.add_argument("id", help="e.g. fig15, fig3, tab3")

@@ -174,6 +174,9 @@ class IvLeagueBasicEngine(SecureMemoryEngine):
 
     def on_page_alloc(self, domain: int, pfn: int, now: float) -> float:
         self.stats.page_allocs += 1
+        if self.tracer.enabled:
+            # Engine entry point: NFL touches below belong to ``domain``.
+            self.tracer.cur_domain = domain
         chain = self._chain_of(domain)
         op, lat = self._alloc_slot(domain, chain, now)
         op, extra = self._post_alloc(domain, chain, op, now + lat)
@@ -189,6 +192,8 @@ class IvLeagueBasicEngine(SecureMemoryEngine):
 
     def on_page_free(self, domain: int, pfn: int, now: float) -> float:
         self.stats.page_frees += 1
+        if self.tracer.enabled:
+            self.tracer.cur_domain = domain
         self._page_writes.pop(pfn, None)
         slot_id = self.leafmap.pop(pfn)
         self._slot_pfn.pop(slot_id, None)

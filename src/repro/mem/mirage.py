@@ -113,10 +113,19 @@ class MirageCache(Cache):
         # Power-of-two-choices placement into the emptier skew.
         if len(self._sets[c0]) <= len(self._sets[c1]):
             idx = c0
+            skew = 0
             self.skew0_fills += 1
         else:
             idx = c1
+            skew = 1
             self.skew1_fills += 1
+        if self.tracer.enabled:
+            # MIRAGE's load-balanced placement depends on global set
+            # occupancy, i.e. on *other* domains' traffic -- exactly the
+            # coupling the leakage checker needs to see, so the chosen
+            # skew is an observable of its own.
+            self.tracer.instant("cache", "place", cache=self.name,
+                                addr=addr, skew=skew)
         s = self._sets[idx]
         victim = None
         if len(s) >= self.assoc:

@@ -227,6 +227,9 @@ class SecureMemoryEngine(ABC):
         """LLC-missing access: fetch data + metadata; returns latency."""
         tracing = self.tracer.enabled
         if tracing:
+            # Engine entry point: everything emitted below (counter /
+            # tree / MAC / DRAM events) belongs to this domain.
+            self.tracer.cur_domain = domain
             self.tracer.begin("engine", "data_access", ts=now,
                               domain=domain, pfn=pfn, write=is_write)
         if is_write:
@@ -261,6 +264,7 @@ class SecureMemoryEngine(ABC):
         """Dirty LLC eviction: counter bump, MAC refresh, posted write."""
         self.stats.writebacks_absorbed += 1
         if self.tracer.enabled:
+            self.tracer.cur_domain = domain
             self.tracer.instant("engine", "writeback", ts=now,
                                 domain=domain, pfn=pfn)
         prof = self.profiler
@@ -300,7 +304,8 @@ class SecureMemoryEngine(ABC):
         """
         self.stats.page_reencrypts += 1
         if self.tracer.enabled:
-            self.tracer.instant("page", "reencrypt", ts=now, pfn=pfn)
+            self.tracer.instant("page", "reencrypt", ts=now,
+                                domain=domain, pfn=pfn)
         for b in range(0, BLOCKS_PER_PAGE, 8):
             addr = self.data_addr(pfn, b)
             self._mread(addr, now)

@@ -73,8 +73,16 @@ def host_facts() -> dict:
     }
 
 
-def run_manifest(config=None, seed: Optional[int] = None, **extra) -> dict:
-    """Build the provenance manifest embedded in every JSON artifact."""
+def run_manifest(config=None, seed: Optional[int] = None,
+                 deterministic: bool = False, **extra) -> dict:
+    """Build the provenance manifest embedded in every JSON artifact.
+
+    ``deterministic=True`` drops the wall-clock ``created`` stamp and
+    the volatile ``host`` facts (peak RSS varies run to run), so two
+    identical runs produce byte-identical artifacts — required wherever
+    a manifest rides inside content that is diffed or content-hashed
+    (observable-trace exports, leakage pair payloads).
+    """
     from repro import __version__
 
     manifest = {
@@ -83,9 +91,11 @@ def run_manifest(config=None, seed: Optional[int] = None, **extra) -> dict:
         "tool_version": __version__,
         "git_sha": git_sha(),
         "python": platform.python_version(),
-        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "host": host_facts(),
     }
+    if not deterministic:
+        manifest["created"] = datetime.now(timezone.utc).isoformat(
+            timespec="seconds")
+        manifest["host"] = host_facts()
     if config is not None:
         manifest["config_hash"] = config_hash(config)
     if seed is not None:

@@ -206,6 +206,11 @@ class Simulator:
             if domain is None:
                 domain = fallback_domain
             self.engine.handle_writeback(domain, pfn, block_in_page, now)
+        if self.tracer.enabled:
+            # handle_writeback retargets the ambient domain to each
+            # block's owner; restore the requesting domain so later
+            # events in the enclosing step are attributed correctly.
+            self.tracer.cur_domain = fallback_domain
 
     def _alloc_page(self, state: _CoreState, slot: int, now: float) -> float:
         confined = getattr(self.engine, "frame_range", None)
@@ -252,8 +257,9 @@ class Simulator:
         tracing = tr.enabled
         if tracing:
             # Components below (caches, TLB, DRAM) stamp their events
-            # with the tracer's ambient core/clock.
+            # with the tracer's ambient core/domain/clock.
             tr.cur_tid = ci
+            tr.cur_domain = st.domain
             tr.clock = st.clock
 
         if (t.churn_every and i and i % t.churn_every == 0

@@ -54,6 +54,16 @@ CATEGORIES = frozenset({
     "fault",     # oracle fault campaigns: injections, detections, misses
 })
 
+#: Categories whose events are *observable* in the side-channel sense:
+#: an adversary co-located with the machine can, in principle, infer
+#: their occurrence (cache presence, DRAM bank activity, NFL traffic).
+#: Every event in these categories must carry a ``domain`` tag so the
+#: leakage checker (:mod:`repro.obs.leakage`) can attribute it; the
+#: schema validator enforces the tag.
+OBSERVABLE_CATEGORIES = frozenset({
+    "cache", "mac", "tree", "dram", "nfl", "page", "domain",
+})
+
 _SPAN_PHASES = frozenset({"B", "E"})
 _KNOWN_PHASES = frozenset({"B", "E", "X", "i", "M"})
 
@@ -68,6 +78,7 @@ class NullTracer:
 
     enabled = False
     cur_tid = 0
+    cur_domain = 0
     clock = 0.0
 
     def begin(self, cat, name, ts=None, **args) -> None:
@@ -93,10 +104,13 @@ class EventTracer:
 
     ``limit`` bounds memory (``None`` = unbounded, for tests); when the
     ring wraps, the oldest events are discarded and counted in
-    :attr:`dropped`.  ``clock`` and ``cur_tid`` are kept current by the
-    simulator so deep components (caches, TLB) can emit events without
-    threading a timestamp through every call signature -- such events
-    carry the enclosing request's start time.
+    :attr:`dropped`.  ``clock``, ``cur_tid`` and ``cur_domain`` are kept
+    current by the simulator / engine entry points so deep components
+    (caches, TLB, DRAM) can emit events without threading a timestamp or
+    a domain through every call signature -- such events carry the
+    enclosing request's start time and owning IV domain.  Every event
+    with ``args`` is stamped with the ambient ``domain`` unless the call
+    site supplied one explicitly.
     """
 
     enabled = True
@@ -107,6 +121,7 @@ class EventTracer:
         self.limit = limit
         self.pid = pid
         self.cur_tid = 0
+        self.cur_domain = 0
         self.clock = 0.0
         self.emitted = 0
         self._events: deque = deque(maxlen=limit)
@@ -119,6 +134,9 @@ class EventTracer:
 
     def _emit(self, ev: dict) -> None:
         self.emitted += 1
+        args = ev.get("args")
+        if args is not None and "domain" not in args:
+            args["domain"] = self.cur_domain
         self._events.append(ev)
 
     def begin(self, cat: str, name: str, ts: Optional[float] = None,
@@ -211,7 +229,11 @@ def validate_events(events: Iterable[dict]) -> list[str]:
     * per ``(pid, tid)``, ``B``/``E`` spans match by name, nest
       properly, and close at ``ts >=`` their opening time;
     * per ``(pid, tid)``, span-begin timestamps never run backwards
-      (each core's clock is monotonic).
+      (each core's clock is monotonic);
+    * every event in an observable category
+      (:data:`OBSERVABLE_CATEGORIES`, phases ``B``/``X``/``i``) carries
+      a non-negative integer ``domain`` tag, so the leakage checker can
+      attribute it to an IV domain.
     """
     problems: list[str] = []
     stacks: dict[tuple, list] = {}
@@ -231,6 +253,12 @@ def validate_events(events: Iterable[dict]) -> list[str]:
         if cat not in CATEGORIES:
             problems.append(f"event {i} ({ev.get('name')}): "
                             f"unknown category {cat!r}")
+        if cat in OBSERVABLE_CATEGORIES and ph in ("B", "X", "i"):
+            dom = (ev.get("args") or {}).get("domain")
+            if isinstance(dom, bool) or not isinstance(dom, int) or dom < 0:
+                problems.append(
+                    f"event {i} ({cat}/{ev.get('name')}): observable "
+                    f"event missing domain tag (got {dom!r})")
         key = (ev.get("pid", 0), ev.get("tid", 0))
         if ph == "X":
             dur = ev.get("dur")

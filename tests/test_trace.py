@@ -47,9 +47,20 @@ class TestEventTracer:
         t.instant("tlb", "miss", ts=12)
         evs = t.events()
         assert [e["ph"] for e in evs] == ["B", "E", "X", "i"]
-        assert evs[0]["args"] == {"pfn": 3}
+        # every event with args is stamped with the ambient domain (0)
+        assert evs[0]["args"] == {"pfn": 3, "domain": 0}
         assert evs[2]["dur"] == 10
         assert validate_events(evs) == []
+
+    def test_ambient_domain_stamping(self):
+        t = EventTracer(limit=None)
+        t.instant("cache", "evict", ts=1, addr=5)
+        t.cur_domain = 3
+        t.instant("cache", "evict", ts=2, addr=5)
+        # an explicit domain arg wins over the ambient one
+        t.instant("cache", "evict", ts=3, addr=5, domain=7)
+        doms = [e["args"]["domain"] for e in t.events()]
+        assert doms == [0, 3, 7]
 
     def test_ambient_clock_and_tid(self):
         t = EventTracer(limit=None)
@@ -114,6 +125,23 @@ class TestValidator:
                                  "ts": -1}])
         assert validate_events([{"ph": "X", "cat": "sim", "name": "x",
                                  "ts": 0, "dur": -2}])
+
+    def test_observable_events_require_domain_tag(self):
+        # cache/tree/dram/... events must carry a valid domain arg
+        bad = [{"ph": "i", "cat": "cache", "name": "evict", "ts": 0,
+                "args": {"addr": 1}},
+               {"ph": "i", "cat": "tree", "name": "node", "ts": 1,
+                "args": {"addr": 2, "domain": -1}},
+               {"ph": "i", "cat": "dram", "name": "read", "ts": 2,
+                "args": {"bank": 0, "domain": True}}]
+        probs = validate_events(bad)
+        assert len([p for p in probs if "domain tag" in p]) == 3
+        ok = [{"ph": "i", "cat": "cache", "name": "evict", "ts": 0,
+               "args": {"addr": 1, "domain": 0}},
+              # non-observable categories are exempt
+              {"ph": "i", "cat": "sim", "name": "tick", "ts": 1,
+               "args": {"n": 1}}]
+        assert validate_events(ok) == []
 
 
 class TestSimulatorTraces:
@@ -194,6 +222,12 @@ class TestProvenance:
         assert m["schema_version"] >= 1
         assert m["tool"] == "repro"
         assert "created" in m and "python" in m
+
+    def test_deterministic_manifest_drops_volatile_fields(self):
+        m = run_manifest(config=tiny_config(2), seed=9, deterministic=True)
+        assert "created" not in m and "host" not in m
+        m2 = run_manifest(config=tiny_config(2), seed=9, deterministic=True)
+        assert m == m2
 
 
 class TestOverheadGuard:
@@ -292,8 +326,11 @@ class TestCliTraceProfile:
         from repro.cli import main
         trace_path = tmp_path / "trace.json"
         stats_path = tmp_path / "stats.json"
+        # limit sized above the busiest scheme's full event count (PR-8
+        # added page/placement instrumentation): a truncated ring
+        # legitimately orphans span-end events, which the validator flags
         rc = main(["run", "S-4", "--accesses", "1200", "--seed", "5",
-                   "--trace", str(trace_path), "--trace-limit", "50000",
+                   "--trace", str(trace_path), "--trace-limit", "200000",
                    "--profile", "--dump-stats", str(stats_path)])
         assert rc == 0
         out = capsys.readouterr().out
