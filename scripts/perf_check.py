@@ -18,6 +18,11 @@ A series with no comparable prior records (the first entry, a new
 sweep shape, a core switch) passes by construction — the gate needs a
 baseline before it can bite.
 
+When a throughput regression is flagged and records carry the bench's
+``phases`` attribution (per-scheme profiler shares), the report also
+names the phase whose share grew most against the baseline median —
+pointing at *what* got slower, not just that something did.
+
 On 1-CPU hosts timing is noisy enough that a hard gate flakes; unless
 ``--strict`` is given, such hosts (and an explicit ``--warn-only``)
 report regressions as warnings and exit 0.
@@ -63,6 +68,41 @@ def comparable(latest: dict, rec: dict) -> bool:
     return all(rec.get(k) == latest.get(k) for k in COMPARABLE_KEYS)
 
 
+def _mean_phase_shares(phases) -> dict:
+    """Collapse a record's per-scheme {phase: share} maps into one
+    mean-share-per-phase map (absent/odd data yields {})."""
+    if not isinstance(phases, dict):
+        return {}
+    acc: dict = {}
+    n = 0
+    for shares in phases.values():
+        if not isinstance(shares, dict):
+            continue
+        n += 1
+        for name, share in shares.items():
+            acc[name] = acc.get(name, 0.0) + float(share)
+    return {k: v / n for k, v in acc.items()} if n else {}
+
+
+def worst_phase_shift(latest: dict, baseline: list[dict]):
+    """Name the profiler phase whose attributed share grew most versus
+    the baseline median — the first suspect when throughput regresses.
+
+    Returns ``(phase, latest_share, delta)`` or ``None`` when either
+    side lacks phase attribution (records predating it).
+    """
+    lat = _mean_phase_shares(latest.get("phases"))
+    base = [_mean_phase_shares(r.get("phases")) for r in baseline]
+    base = [b for b in base if b]
+    if not lat or not base:
+        return None
+    deltas = {
+        phase: share - statistics.median(b.get(phase, 0.0) for b in base)
+        for phase, share in lat.items()}
+    phase = max(sorted(deltas), key=lambda p: deltas[p])
+    return phase, lat[phase], deltas[phase]
+
+
 def check(records: list[dict], window: int = 5,
           tolerance: float = 0.25) -> tuple[bool, list[str]]:
     """Evaluate the latest record; returns ``(ok, messages)``."""
@@ -85,6 +125,13 @@ def check(records: list[dict], window: int = 5,
     verdict = "ok" if tput >= floor else "REGRESSED"
     msgs.append(f"  cells_per_sec_serial: {tput:.3f} vs median "
                 f"{med_tput:.3f} (floor {floor:.3f}) [{verdict}]")
+    if tput < floor:
+        shift = worst_phase_shift(latest, baseline)
+        if shift is not None:
+            phase, share, delta = shift
+            msgs.append(f"  suspect phase: '{phase}' now {share:.1%} of "
+                        f"attributed time ({delta:+.1%} vs baseline "
+                        f"median)")
     ok &= tput >= floor
 
     med_warm = statistics.median(

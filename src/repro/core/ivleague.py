@@ -36,6 +36,8 @@ class IvLeagueBasicEngine(SecureMemoryEngine):
         self.geometry = TreeLingGeometry(iv.treeling_height)
         super().__init__(config, seed)
         self.pool = IVDomainController(iv.n_treelings, iv.max_domains)
+        # Hot-path constant (same float the config property yields).
+        self._lmm_hit_lat = float(iv.lmm_hit_latency)
         self.leafmap = LeafMap()
         self.lmm_cache = LMMCache(iv.lmm_entries, iv.lmm_assoc)
         self._chains: dict[int, ChainedNFL] = {}
@@ -211,13 +213,12 @@ class IvLeagueBasicEngine(SecureMemoryEngine):
 
     def _lmm_lookup(self, pfn: int, now: float) -> tuple[int, float]:
         """On-chip LMM cache probe; a miss reads the PTE block."""
-        iv = self.config.ivleague
         cached = self.lmm_cache.lookup(pfn)
         if cached is not None:
             self.stats.lmm_hits += 1
             if self.tracer.enabled:
                 self.tracer.instant("engine", "lmm_hit", ts=now, pfn=pfn)
-            return cached, float(iv.lmm_hit_latency)
+            return cached, self._lmm_hit_lat
         self.stats.lmm_misses += 1
         if self.tracer.enabled:
             self.tracer.instant("engine", "lmm_miss", ts=now, pfn=pfn)
@@ -288,6 +289,77 @@ class IvLeagueBasicEngine(SecureMemoryEngine):
         # the TreeLing root -- no in-memory sharing with other domains.
         self._record_path(domain, visited)
         self._fill(self.counter_cache, ctr_addr, clock, dirty=for_write)
+        return clock - now
+
+    def _verify_fast(self, domain: int, pfn: int, now: float,
+                     for_write: bool) -> float:
+        """Bit-identical fast form of :meth:`_verify_path`.
+
+        The dynamic page-to-slot mapping means the path is *not* pure in
+        the PFN -- but the LMM probe must run on every counter miss
+        anyway (its hit/miss stats, LRU state and PTE reads are
+        observables), and it yields the current slot id.  The path memo
+        is therefore keyed by the *resolved slot id*, of which the
+        address list is a pure function, so TreeLing churn, Invert
+        conversions and Pro migrations need no invalidation hooks: a
+        remapped page simply resolves to a different (memoized) slot.
+        Stale mappings take the instrumented ``_resolve_slot`` fix-up,
+        which is rare and already bit-identical with the tracer off.
+        """
+        if pfn not in self.leafmap:
+            # Late write-back of a block whose page was already freed.
+            return 0.0
+        ctr_addr = self._ctr_base | pfn
+        stats = self.stats
+        if self._ctr_probe(ctr_addr, for_write):
+            stats.counter_hits += 1
+            return self._ctr_hit_lat
+        stats.counter_misses += 1
+        clock = now
+        read_meta = self._read_meta
+        # Inlined _lmm_lookup (tracer off).
+        cached = self.lmm_cache.lookup(pfn)
+        if cached is not None:
+            stats.lmm_hits += 1
+            slot_id = cached
+            clock += self._lmm_hit_lat
+        else:
+            stats.lmm_misses += 1
+            clock += read_meta(self.leafmap.pte_block_addr(pfn), clock)
+            slot_id = self.leafmap.get(pfn)
+            self.lmm_cache.insert(pfn, slot_id)
+        geo = self.geometry
+        if self.leafmap.is_stale(pfn):
+            ref, fix_lat = self._resolve_slot(pfn, slot_id, clock)
+            clock += fix_lat
+            paddrs = geo.path_addrs(ref.treeling, ref.level,
+                                    ref.node_index)
+        else:
+            paddrs = self._path_memo.get(slot_id)
+            if paddrs is None:
+                ref = geo.decode_slot(slot_id)
+                paddrs = self._path_memo[slot_id] = geo.path_addrs(
+                    ref.treeling, ref.level, ref.node_index)
+                self.tree_cache.prime_candidates(paddrs)
+        clock += read_meta(ctr_addr, clock)
+        visited = 1
+        tree_probe = self._tree_probe
+        tree_fill = self._tree_fill
+        write_meta = self._write_meta
+        hash_lat = self._hash_lat
+        for addr in paddrs:
+            if tree_probe(addr, for_write):
+                break
+            visited += 1
+            stats.tree_node_dram_reads += 1
+            clock += read_meta(addr, clock) + hash_lat
+            wb = tree_fill(addr, for_write)
+            if wb is not None:
+                write_meta(wb, clock)
+        self._record_path(domain, visited)
+        wb = self._ctr_fill(ctr_addr, for_write)
+        if wb is not None:
+            write_meta(wb, clock)
         return clock - now
 
     # -- Fig. 17b metrics -----------------------------------------------------------------------

@@ -87,6 +87,26 @@ class Cache:
         self.stats.hits += 1
         return True
 
+    def touch_dirty(self, addr: int) -> bool:
+        """Single-probe equivalent of ``contains(addr)`` followed by
+        ``lookup(addr, is_write=True)`` on the present branch.
+
+        On a hit: refresh LRU, set the dirty bit, count the hit.  On
+        absence: touch neither stats nor LRU (exactly what the
+        contains-then-lookup pair did — ``contains`` never counted, and
+        the ``lookup`` was only issued after a positive ``contains``).
+        ``set_index`` is inlined like in ``lookup`` (subclasses with a
+        different mapping override this wholesale).
+        """
+        s = self._sets[addr % self.n_sets]
+        entry = s.get(addr)
+        if entry is None:
+            return False
+        s.move_to_end(addr)
+        entry[0] = True
+        self.stats.hits += 1
+        return True
+
     # -- fills / evictions ---------------------------------------------------
 
     def fill(self, addr: int, dirty: bool = False,
@@ -112,9 +132,12 @@ class Cache:
                 victim = self._pick_victim(s)
                 if victim is None:
                     return None  # fully locked set: drop the fill
+                vdirty = s.pop(victim)[0]
             else:
-                victim = next(iter(s))  # LRU head; nothing is locked
-            vdirty = s.pop(victim)[0]
+                # LRU head; nothing is locked.  popitem(last=False) is
+                # the fused form of next(iter(s)) + pop(victim).
+                victim, ventry = s.popitem(last=False)
+                vdirty = ventry[0]
             self.evictions += 1
             if vdirty:
                 self.writebacks += 1
@@ -153,6 +176,78 @@ class Cache:
         else:
             self.fill(addr, locked=True)
 
+    # -- pre-bound fast paths -------------------------------------------------
+    #
+    # The engines' hot path probes the same cache objects on every
+    # LLC-missing access.  ``bind_fast_probe``/``bind_fast_fill`` return
+    # closures holding the set list, geometry and stat objects in cell
+    # variables, so one probe is a single dict round-trip with no
+    # attribute chain and no method dispatch.  The closures are only
+    # valid under the fast-path preconditions (tracer and profiler off);
+    # they are bit-identical to ``lookup``/``fill`` in every observable
+    # effect (LRU order, dirty bits, victims, stats).  Unknown subclasses
+    # get their own generic methods back, so semantics always come from
+    # the instance.
+
+    def prime_candidates(self, addrs) -> None:
+        """Hook for randomized caches: pre-compute hashed set candidates
+        for a batch of addresses.  Direct-indexed caches need nothing."""
+
+    def bind_fast_probe(self):
+        """Return a ``probe(addr, is_write=False) -> bool`` closure
+        equivalent to ``lookup``.  Monomorphic for exact ``Cache``
+        instances; subclasses fall back to their own ``lookup``."""
+        if type(self) is not Cache:
+            return self.lookup
+        sets = self._sets
+        n_sets = self.n_sets
+        stats = self.stats
+        def probe(addr: int, is_write: bool = False) -> bool:
+            s = sets[addr % n_sets]
+            entry = s.get(addr)
+            if entry is None:
+                stats.misses += 1
+                return False
+            s.move_to_end(addr)
+            if is_write:
+                entry[0] = True
+            stats.hits += 1
+            return True
+        return probe
+
+    def bind_fast_fill(self):
+        """Return a ``fill_absent(addr, dirty=False) -> victim | None``
+        closure: ``fill`` specialised for an address the caller just
+        observed to be absent (so the presence probe is skipped and no
+        :class:`Eviction` is allocated).  Returns the *dirty* victim's
+        address, or None (clean evictions need no write-back).  Only
+        valid with the tracer off (no evict events are emitted)."""
+        if type(self) is not Cache:
+            return generic_fill_absent(self)
+        sets = self._sets
+        n_sets = self.n_sets
+        assoc = self.assoc
+        cache = self
+        def fill_absent(addr: int, dirty: bool = False):
+            s = sets[addr % n_sets]
+            wb = None
+            if len(s) >= assoc:
+                if cache._locked:
+                    victim = cache._pick_victim(s)
+                    if victim is None:
+                        return None  # fully locked set: drop the fill
+                    vdirty = s.pop(victim)[0]
+                else:
+                    victim, ventry = s.popitem(last=False)
+                    vdirty = ventry[0]
+                cache.evictions += 1
+                if vdirty:
+                    cache.writebacks += 1
+                    wb = victim
+            s[addr] = [dirty, False]
+            return wb
+        return fill_absent
+
     # -- introspection -------------------------------------------------------
 
     def register_stats(self, registry, name: str | None = None) -> None:
@@ -177,3 +272,17 @@ class Cache:
             s.clear()
             s.update(keep)
         return dirty
+
+
+def generic_fill_absent(cache: Cache):
+    """``fill_absent`` built on the instance's own generic ``fill``:
+    the fallback ``bind_fast_fill`` returns for subclasses the fast
+    closures do not know, so a custom replacement policy keeps its
+    semantics while callers see the uniform victim-or-None protocol."""
+    fill = cache.fill
+    def fill_absent(addr: int, dirty: bool = False):
+        ev = fill(addr, dirty=dirty)
+        if ev is not None and ev.dirty:
+            return ev.addr
+        return None
+    return fill_absent

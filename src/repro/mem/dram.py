@@ -65,6 +65,11 @@ class DRAM:
         self._miss_lat = config.row_miss_latency
         self._t_burst = config.t_burst
         self._miss_occupancy = config.t_rp + config.t_rcd + config.t_burst
+        # Address-mapping constants, hoisted for the same reason: the
+        # memo-miss path re-read three config attributes per mapping.
+        self._channels = config.channels
+        self._banks_per_channel = (config.ranks_per_channel
+                                   * config.banks_per_rank)
 
     def register_stats(self, registry, name: str = "dram") -> None:
         """Register device-level counters (open-row state is not a stat)."""
@@ -84,10 +89,9 @@ class DRAM:
         if br is None:
             blk = block_of(addr)
             spc = space_of(addr)
-            cfg = self.config
-            channel = (blk ^ spc) % cfg.channels
+            channel = (blk ^ spc) % self._channels
             row_global = blk // self._blocks_per_row
-            banks_per_channel = cfg.ranks_per_channel * cfg.banks_per_rank
+            banks_per_channel = self._banks_per_channel
             bank_in_channel = (row_global ^ (spc * 7)) % banks_per_channel
             bank = channel * banks_per_channel + bank_in_channel
             row = row_global // banks_per_channel

@@ -109,3 +109,112 @@ class MemoryController:
         self.dram.write(addr, now)
         if profiling:
             prof.pop()
+
+    # -- pre-bound engine fast path -------------------------------------------
+
+    def bind_engine_ops(self, estats):
+        """Fused (read_data, read_meta, write_data, write_meta) closures
+        for the engine fast path.
+
+        Each closure collapses the controller layer, the DRAM open-row
+        timing model and the engine's own dram_* attribution counters
+        (``estats`` is the engine's :class:`EngineStats`) into one call
+        with no profiler checks and no tracer emission -- callers must
+        guarantee tracing and profiling are off.  The data/metadata
+        classification is static per closure, so the ``_METADATA_BASE``
+        compare disappears from the per-request path.  The arithmetic is
+        the same IEEE sequence as :meth:`DRAM.read`/:meth:`DRAM.write`,
+        and every counter/histogram update matches ``read``/``write`` +
+        the engine's ``_mread``/``_mwrite`` attribution bit for bit.
+        """
+        dram = self.dram
+        memo_get = dram._br_memo.get
+        bank_and_row = dram.bank_and_row
+        open_row = dram._open_row
+        busy_until = dram._busy_until
+        dstats = dram.stats
+        traffic = self.traffic
+        hit_lat = dram._hit_lat
+        miss_lat = dram._miss_lat
+        t_burst = dram._t_burst
+        miss_occ = dram._miss_occupancy
+        rec_data = self._h_data.record
+        rec_meta = self._h_meta.record
+
+        def read_data(addr: int, now: float) -> float:
+            traffic.data_reads += 1
+            estats.dram_data_reads += 1
+            br = memo_get(addr)
+            bank, row = br if br is not None else bank_and_row(addr)
+            busy = busy_until[bank]
+            start = now if now >= busy else busy
+            if open_row[bank] == row:
+                latency = hit_lat
+                dstats.row_hits += 1
+                busy_until[bank] = start + t_burst
+            else:
+                latency = miss_lat
+                dstats.row_misses += 1
+                open_row[bank] = row
+                busy_until[bank] = start + miss_occ
+            total = start + latency - now
+            dstats.reads += 1
+            dstats.total_read_latency += total
+            rec_data(total)
+            return total
+
+        def read_meta(addr: int, now: float) -> float:
+            traffic.metadata_reads += 1
+            estats.dram_metadata_reads += 1
+            br = memo_get(addr)
+            bank, row = br if br is not None else bank_and_row(addr)
+            busy = busy_until[bank]
+            start = now if now >= busy else busy
+            if open_row[bank] == row:
+                latency = hit_lat
+                dstats.row_hits += 1
+                busy_until[bank] = start + t_burst
+            else:
+                latency = miss_lat
+                dstats.row_misses += 1
+                open_row[bank] = row
+                busy_until[bank] = start + miss_occ
+            total = start + latency - now
+            dstats.reads += 1
+            dstats.total_read_latency += total
+            rec_meta(total)
+            return total
+
+        def write_data(addr: int, now: float) -> None:
+            traffic.data_writes += 1
+            estats.dram_data_writes += 1
+            br = memo_get(addr)
+            bank, row = br if br is not None else bank_and_row(addr)
+            busy = busy_until[bank]
+            start = now if now >= busy else busy
+            if open_row[bank] == row:
+                dstats.row_hits += 1
+                busy_until[bank] = start + t_burst
+            else:
+                dstats.row_misses += 1
+                open_row[bank] = row
+                busy_until[bank] = start + miss_occ
+            dstats.writes += 1
+
+        def write_meta(addr: int, now: float) -> None:
+            traffic.metadata_writes += 1
+            estats.dram_metadata_writes += 1
+            br = memo_get(addr)
+            bank, row = br if br is not None else bank_and_row(addr)
+            busy = busy_until[bank]
+            start = now if now >= busy else busy
+            if open_row[bank] == row:
+                dstats.row_hits += 1
+                busy_until[bank] = start + t_burst
+            else:
+                dstats.row_misses += 1
+                open_row[bank] = row
+                busy_until[bank] = start + miss_occ
+            dstats.writes += 1
+
+        return read_data, read_meta, write_data, write_meta

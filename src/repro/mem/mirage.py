@@ -22,7 +22,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.mem.cache import Cache, Eviction
+from repro.mem.cache import Cache, Eviction, generic_fill_absent
 from repro.sim.config import CacheConfig
 
 
@@ -72,6 +72,40 @@ class MirageCache(Cache):
             if profiling:
                 prof.pop()
         return cand
+
+    def prime_candidates(self, addrs) -> None:
+        """Batch-hash the skew candidates for every address in ``addrs``
+        that is not memoized yet.
+
+        The per-address path computes two splitmix64 finalisers in pure
+        Python; resolving a whole verification path (or any other known
+        address batch) at once lets numpy vectorise the mixing.  uint64
+        arithmetic wraps exactly like the ``& 0xFFFF...`` masking of
+        :func:`_mix`, so the memoized values are identical ints.
+        """
+        cand = self._cand
+        missing = [a for a in addrs if a not in cand]
+        if not missing:
+            return
+        prof = self.profiler
+        profiling = prof.enabled
+        if profiling:
+            prof.push("mirage_hash")
+        n_sets = np.uint64(self.n_sets)
+        base = np.asarray(missing, dtype=np.uint64)
+
+        def mixed(key: int) -> list:
+            z = base + np.uint64(key)
+            z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+            z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+            return ((z ^ (z >> np.uint64(31))) % n_sets).tolist()
+
+        with np.errstate(over="ignore"):
+            for addr, a, b in zip(missing, mixed(self._key0),
+                                  mixed(self._key1)):
+                cand[addr] = (a, b)
+        if profiling:
+            prof.pop()
 
     def set_index(self, addr: int) -> int:  # pragma: no cover - unused path
         return self._candidates(addr)[0]
@@ -136,9 +170,10 @@ class MirageCache(Cache):
                 vaddr = next((a for a, e in s.items() if not e[1]), None)
                 if vaddr is None:
                     return None
+                vdirty = s.pop(vaddr)[0]
             else:
-                vaddr = next(iter(s))
-            vdirty = s.pop(vaddr)[0]
+                vaddr, ventry = s.popitem(last=False)
+                vdirty = ventry[0]
             self.evictions += 1
             if vdirty:
                 self.writebacks += 1
@@ -150,6 +185,95 @@ class MirageCache(Cache):
             self._locked += 1
         s[addr] = [dirty, locked]
         return victim
+
+    def touch_dirty(self, addr: int) -> bool:
+        """Single-probe contains+dirty-lookup, mirroring
+        :meth:`repro.mem.cache.Cache.touch_dirty` over both skews."""
+        cand = self._cand.get(addr)
+        if cand is None:
+            cand = self._candidates(addr)
+        sets = self._sets
+        s = sets[cand[0]]
+        entry = s.get(addr)
+        if entry is None:
+            s = sets[cand[1]]
+            entry = s.get(addr)
+            if entry is None:
+                return False
+        s.move_to_end(addr)
+        entry[0] = True
+        self.stats.hits += 1
+        return True
+
+    def bind_fast_probe(self):
+        """Monomorphic probe closure over the memoized skew candidates;
+        same contract as :meth:`repro.mem.cache.Cache.bind_fast_probe`."""
+        if type(self) is not MirageCache:
+            return self.lookup
+        sets = self._sets
+        cand_get = self._cand.get
+        candidates = self._candidates
+        stats = self.stats
+        def probe(addr: int, is_write: bool = False) -> bool:
+            cand = cand_get(addr)
+            if cand is None:
+                cand = candidates(addr)
+            s = sets[cand[0]]
+            entry = s.get(addr)
+            if entry is None:
+                s = sets[cand[1]]
+                entry = s.get(addr)
+                if entry is None:
+                    stats.misses += 1
+                    return False
+            if is_write:
+                entry[0] = True
+            s.move_to_end(addr)
+            stats.hits += 1
+            return True
+        return probe
+
+    def bind_fast_fill(self):
+        """Known-absent fill closure (power-of-two-choices placement,
+        skew counters, LRU victim) returning the dirty victim address or
+        None; same contract as ``Cache.bind_fast_fill``.  Only valid
+        with the tracer off (no place/evict events are emitted)."""
+        if type(self) is not MirageCache:
+            return generic_fill_absent(self)
+        sets = self._sets
+        cand_get = self._cand.get
+        candidates = self._candidates
+        cache = self
+        def fill_absent(addr: int, dirty: bool = False):
+            cand = cand_get(addr)
+            if cand is None:
+                cand = candidates(addr)
+            s0 = sets[cand[0]]
+            s1 = sets[cand[1]]
+            if len(s0) <= len(s1):
+                s = s0
+                cache.skew0_fills += 1
+            else:
+                s = s1
+                cache.skew1_fills += 1
+            wb = None
+            if len(s) >= cache.assoc:
+                if cache._locked:
+                    vaddr = next(
+                        (a for a, e in s.items() if not e[1]), None)
+                    if vaddr is None:
+                        return None
+                    vdirty = s.pop(vaddr)[0]
+                else:
+                    vaddr, ventry = s.popitem(last=False)
+                    vdirty = ventry[0]
+                cache.evictions += 1
+                if vdirty:
+                    cache.writebacks += 1
+                    wb = vaddr
+            s[addr] = [dirty, False]
+            return wb
+        return fill_absent
 
     def register_stats(self, registry, name: str | None = None) -> None:
         """PR 1 missed the MIRAGE-specific counters: register the skew

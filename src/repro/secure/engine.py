@@ -76,6 +76,11 @@ class SecureMemoryEngine(ABC):
         #: instance-level so tests (and the differential oracle's fault
         #: campaigns) can force or suppress overflows per engine.
         self.overflow_writes_per_page = OVERFLOW_WRITES_PER_PAGE
+        #: Resolved verify-path memo (scheme-specific key; see the
+        #: ``_verify_fast`` implementations).  Every entry is a pure
+        #: function of its key, so no invalidation is ever needed.
+        self._path_memo: dict = {}
+        self._bind_fast()
 
     # -- hooks for subclasses ------------------------------------------------------
 
@@ -87,6 +92,65 @@ class SecureMemoryEngine(ABC):
     def _verify_path(self, domain: int, pfn: int, now: float,
                      for_write: bool) -> float:
         """Fetch + verify the counter block of ``pfn``; returns latency."""
+
+    # -- pre-bound fast path -------------------------------------------------------
+    #
+    # Every LLC-missing access funnels through ``data_access`` /
+    # ``handle_writeback``; the instrumented bodies pay tracer guards,
+    # profiler guards and three layers of method dispatch per metadata
+    # probe.  The fast path pre-binds monomorphic cache-probe/fill
+    # closures and fused controller+DRAM read/write closures at
+    # construction, and each scheme's ``_verify_fast`` memoizes the
+    # address resolution of its verify walk.  The gate below falls back
+    # to the exact instrumented code whenever tracing or profiling is on
+    # (the differential oracle always installs a tracer, so its
+    # instance-level ``_verify_path`` fault patches are honored -- and
+    # the gate additionally rejects any instance-level ``_verify_path``
+    # override outright).  Both paths are bit-identical in every
+    # observable: stats, histogram buckets, cache state, DRAM timing.
+
+    #: Master switch; instance- or class-assignable so tests and
+    #: ablations can force the instrumented path.
+    use_fast_path = True
+
+    #: Helpers the fast path inlines; a subclass overriding any of them
+    #: changes semantics the fused closures would bypass, so such an
+    #: engine permanently keeps the instrumented path.
+    _FUSED_HELPERS = ("_mac_access", "_mread", "_mwrite", "_fill")
+
+    def _bind_fast(self) -> None:
+        (self._read_data, self._read_meta, self._write_data,
+         self._write_meta) = self.mc.bind_engine_ops(self.stats)
+        self._mac_probe = self.mac_cache.bind_fast_probe()
+        self._mac_fill = self.mac_cache.bind_fast_fill()
+        self._ctr_probe = self.counter_cache.bind_fast_probe()
+        self._ctr_fill = self.counter_cache.bind_fast_fill()
+        self._tree_probe = self.tree_cache.bind_fast_probe()
+        self._tree_fill = self.tree_cache.bind_fast_fill()
+        self._fast_ok = self._fast_dispatch_safe()
+
+    def _fast_dispatch_safe(self) -> bool:
+        """Correct-by-construction eligibility: the class providing
+        ``_verify_fast`` must be the class providing ``_verify_path`` or
+        a subclass of it, so an engine that overrides the instrumented
+        walk without supplying the matching fast walk never takes the
+        fast path (it would silently use the parent's semantics)."""
+        mro = type(self).__mro__
+
+        def definer(name):
+            for cls in mro:
+                if name in cls.__dict__:
+                    return cls
+            return None
+
+        if any(definer(n) is not SecureMemoryEngine
+               for n in self._FUSED_HELPERS):
+            return False
+        vfast = definer("_verify_fast")
+        if vfast is None:
+            return False
+        vpath = definer("_verify_path")
+        return vpath is not None and issubclass(vfast, vpath)
 
     # -- statistics registration ---------------------------------------------------
 
@@ -225,6 +289,39 @@ class SecureMemoryEngine(ABC):
     def data_access(self, domain: int, pfn: int, block_in_page: int,
                     is_write: bool, now: float) -> float:
         """LLC-missing access: fetch data + metadata; returns latency."""
+        if (self.tracer.enabled or self.profiler.enabled
+                or not self.use_fast_path or not self._fast_ok
+                or "_verify_path" in self.__dict__):
+            return self._data_access_slow(domain, pfn, block_in_page,
+                                          is_write, now)
+        stats = self.stats
+        if is_write:
+            stats.data_writes += 1
+        else:
+            stats.data_reads += 1
+        block = pfn * BLOCKS_PER_PAGE + block_in_page
+        lat_data = self._read_data(block, now)  # DATA tag is 0
+        # Fused MAC probe: one closure call, stats inline.
+        mac_addr = self._mac_base | (block >> 3)
+        if self._mac_probe(mac_addr, is_write):
+            stats.mac_hits += 1
+            lat_mac = self._mac_hit_lat
+        else:
+            stats.mac_misses += 1
+            lat_mac = self._read_meta(mac_addr, now)
+            wb = self._mac_fill(mac_addr, is_write)
+            if wb is not None:
+                self._write_meta(wb, now)
+        lat_meta = self._verify_fast(domain, pfn, now, is_write) \
+            + self._aes_lat
+        lat = max(lat_data, lat_mac, lat_meta)
+        self._h_verify.record(lat_meta)
+        self._h_access.record(lat)
+        return lat
+
+    def _data_access_slow(self, domain: int, pfn: int, block_in_page: int,
+                          is_write: bool, now: float) -> float:
+        """The instrumented reference path (tracing/profiling hooks)."""
         tracing = self.tracer.enabled
         if tracing:
             # Engine entry point: everything emitted below (counter /
@@ -262,6 +359,33 @@ class SecureMemoryEngine(ABC):
     def handle_writeback(self, domain: int, pfn: int, block_in_page: int,
                          now: float) -> None:
         """Dirty LLC eviction: counter bump, MAC refresh, posted write."""
+        if (self.tracer.enabled or self.profiler.enabled
+                or not self.use_fast_path or not self._fast_ok
+                or "_verify_path" in self.__dict__):
+            return self._handle_writeback_slow(domain, pfn, block_in_page,
+                                               now)
+        stats = self.stats
+        stats.writebacks_absorbed += 1
+        self._verify_fast(domain, pfn, now, True)
+        block = pfn * BLOCKS_PER_PAGE + block_in_page
+        mac_addr = self._mac_base | (block >> 3)
+        if self._mac_probe(mac_addr, True):
+            stats.mac_hits += 1
+        else:
+            stats.mac_misses += 1
+            self._read_meta(mac_addr, now)
+            wb = self._mac_fill(mac_addr, True)
+            if wb is not None:
+                self._write_meta(wb, now)
+        self._write_data(block, now)
+        writes = self._page_writes.get(pfn, 0) + 1
+        if writes >= self.overflow_writes_per_page:
+            writes = 0
+            self._reencrypt_page(domain, pfn, now)
+        self._page_writes[pfn] = writes
+
+    def _handle_writeback_slow(self, domain: int, pfn: int,
+                               block_in_page: int, now: float) -> None:
         self.stats.writebacks_absorbed += 1
         if self.tracer.enabled:
             self.tracer.cur_domain = domain
@@ -393,4 +517,47 @@ class BaselineEngine(SecureMemoryEngine):
             self._fill(tree_cache, addr, clock, dirty=for_write)
         self._record_path(domain, visited)
         self._fill(self.counter_cache, ctr_addr, clock, dirty=for_write)
+        return clock - now
+
+    def _verify_fast(self, domain: int, pfn: int, now: float,
+                     for_write: bool) -> float:
+        """Bit-identical fast form of :meth:`_verify_path` (tracer and
+        profiler off).  The counter address and the tree-path address
+        list are pure functions of the PFN for every static geometry
+        (Baseline, VAULT), so they are memoized per PFN; cache residency
+        is re-probed on every call, which is why the memo never needs
+        invalidating.  Built unconditionally (even on a counter hit) so
+        subclass write paths (SGX counter tree) can reuse the entry."""
+        rec = self._path_memo.get(pfn)
+        if rec is None:
+            paddrs = self.geo.path_addrs(pfn)
+            self.tree_cache.prime_candidates(paddrs)
+            rec = self._path_memo[pfn] = (self.geo.counter_addr(pfn),
+                                          paddrs)
+        ctr_addr = rec[0]
+        stats = self.stats
+        if self._ctr_probe(ctr_addr, for_write):
+            stats.counter_hits += 1
+            return self._ctr_hit_lat
+        stats.counter_misses += 1
+        read_meta = self._read_meta
+        clock = now + read_meta(ctr_addr, now)
+        visited = 1  # the trusted terminator (cached node or root)
+        tree_probe = self._tree_probe
+        tree_fill = self._tree_fill
+        write_meta = self._write_meta
+        hash_lat = self._hash_lat
+        for addr in rec[1]:
+            if tree_probe(addr, for_write):
+                break
+            visited += 1
+            stats.tree_node_dram_reads += 1
+            clock += read_meta(addr, clock) + hash_lat
+            wb = tree_fill(addr, for_write)
+            if wb is not None:
+                write_meta(wb, clock)
+        self._record_path(domain, visited)
+        wb = self._ctr_fill(ctr_addr, for_write)
+        if wb is not None:
+            write_meta(wb, clock)
         return clock - now

@@ -123,3 +123,48 @@ class StaticPartitionEngine(SecureMemoryEngine):
         self._record_path(domain, visited)
         self._fill(self.counter_cache, ctr_addr, clock, dirty=for_write)
         return clock - now
+
+    def _verify_fast(self, domain: int, pfn: int, now: float,
+                     for_write: bool) -> float:
+        """Fast form of :meth:`_verify_path`.  The memo is keyed by PFN
+        alone: the containment check (still enforced per access -- it is
+        the overflow failure the Fig. 22 analysis counts) guarantees
+        ``part == pfn // pages_per_partition``, so the counter address
+        and the offset tree path are pure in the PFN regardless of how
+        partitions are later reassigned across domains."""
+        local_page = self._check_containment(domain, pfn)
+        rec = self._path_memo.get(pfn)
+        if rec is None:
+            offset = (self._partition_of[domain] + 1) << 40
+            paddrs = [base + offset
+                      for base in self.sub_geo.path_addrs(local_page)]
+            self.tree_cache.prime_candidates(paddrs)
+            rec = self._path_memo[pfn] = (
+                self.sub_geo.counter_addr(pfn), paddrs)
+        ctr_addr = rec[0]
+        stats = self.stats
+        if self._ctr_probe(ctr_addr, for_write):
+            stats.counter_hits += 1
+            return self._ctr_hit_lat
+        stats.counter_misses += 1
+        read_meta = self._read_meta
+        clock = now + read_meta(ctr_addr, now)
+        visited = 1
+        tree_probe = self._tree_probe
+        tree_fill = self._tree_fill
+        write_meta = self._write_meta
+        hash_lat = self._hash_lat
+        for addr in rec[1]:
+            if tree_probe(addr, for_write):
+                break
+            visited += 1
+            stats.tree_node_dram_reads += 1
+            clock += read_meta(addr, clock) + hash_lat
+            wb = tree_fill(addr, for_write)
+            if wb is not None:
+                write_meta(wb, clock)
+        self._record_path(domain, visited)
+        wb = self._ctr_fill(ctr_addr, for_write)
+        if wb is not None:
+            write_meta(wb, clock)
+        return clock - now

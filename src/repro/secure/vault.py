@@ -121,6 +121,9 @@ class VaultEngine(BaselineEngine):
         self.geo = VaultGeometry(config.counter_blocks)
         self._node_writes: dict[int, int] = {}
         self.upper_overflows = 0
+        # pfn -> leaf node address; pure in pfn (static geometry), so it
+        # is memoized off the per-writeback path.
+        self._leaf_addr: dict[int, int] = {}
 
     def register_stats(self, registry) -> None:
         super().register_stats(registry)
@@ -131,8 +134,10 @@ class VaultEngine(BaselineEngine):
         super().handle_writeback(domain, pfn, block_in_page, now)
         # narrow upper counters overflow periodically: the node's
         # children must be re-MACed (one read+write per child group)
-        leaf = self.geo.leaf_for_counter(pfn)
-        addr = self.geo.node_addr(leaf)
+        addr = self._leaf_addr.get(pfn)
+        if addr is None:
+            addr = self._leaf_addr[pfn] = self.geo.node_addr(
+                self.geo.leaf_for_counter(pfn))
         writes = self._node_writes.get(addr, 0) + 1
         if writes >= self.OVERFLOW_PERIOD:
             writes = 0

@@ -28,9 +28,12 @@ histogram buckets, for every engine.  Three mechanisms guarantee it:
   so the interleaving of accesses across cores is identical, access by
   access.
 * **Scalar fallback before any mutation.**  The flattened step handles
-  the common case only: no churn trigger, page mapped, TLB hit.  The
-  rare paths (page fault, TLB walk, churn, tracing) fall back to the
-  inherited scalar ``Simulator._step`` -- and the fast path probes for
+  the mapped-page cases inline: TLB hits directly, page faults and TLB
+  walks through the *same* helpers the scalar step delegates to
+  (``_alloc_page``, ``_page_walk``), in the same op order.  The
+  remaining rare paths (churn, tracing, and -- so phase attribution
+  stays intact -- any profiled run's faults and walks) fall back to the
+  inherited scalar ``Simulator._step``, and the fast path probes for
   them *without side effects* first, so the scalar step replays the
   access from an untouched state.
 * **Exact arithmetic preservation.**  Clock updates use the same
@@ -141,11 +144,31 @@ class BatchedSimulator(Simulator):
         tlb_nsets = tlb.n_sets
         hier = self.hierarchy
         llc = hier.llc
-        llc_lookup = llc.lookup
+        # Monomorphic pre-bound probes/fills (bit-identical to the
+        # generic methods; see mem/cache.py).  The tracer is off in this
+        # drain (tracing routes through the scalar core), which is the
+        # only precondition the fast closures need.  ``fill_absent`` is
+        # only used where the preceding probe just observed a miss;
+        # dirty-victim re-inserts keep the generic ``fill`` because the
+        # victim may already be present downstream.
+        llc_lookup = llc.bind_fast_probe()
         llc_fill = llc.fill
+        llc_fill_absent = llc.bind_fast_fill()
         engine_access = self.engine.data_access
         handle_wb = self._handle_writebacks
         step = self._step
+        # Page-fault and TLB-walk handling inline (the helpers the scalar
+        # ``_step`` delegates to, minus its re-extraction preamble).  The
+        # profiled run keeps the scalar fallback so the "page_fault" /
+        # "tlb_walk" phase attribution stays intact.
+        profiling = self.profiler.enabled
+        alloc_page = self._alloc_page
+        page_walk = self._page_walk
+        h_fault_rec = self._h_fault.record
+        h_walk_rec = self._h_walk.record
+        tlb_insert = tlb.insert
+        tlb_stats = tlb.stats
+        page_table = st.page_table
 
         l1f = float(cfg.core.l1.hit_latency)
         l2f = float(cfg.core.l2.hit_latency)
@@ -173,8 +196,9 @@ class BatchedSimulator(Simulator):
         l2_sets = l2._sets
         l1_nsets = l1.n_sets
         l2_nsets = l2.n_sets
-        l1_fill = l1.fill
         l2_fill = l2.fill
+        l1_fill_absent = l1.bind_fast_fill()
+        l2_fill_absent = l2.bind_fast_fill()
 
         clock = st.clock
         pos = st.pos
@@ -197,18 +221,50 @@ class BatchedSimulator(Simulator):
             fast = True
             if (churn_every and i and i % churn_every == 0
                     and len(live_list) > 16):
-                fast = False
+                fast = False              # churn path (rare): scalar step
             else:
                 slot = vpages[i]
                 pfn = live.get(slot)
                 if pfn is None:
-                    fast = False          # page-fault path
+                    # -- page-fault path, inlined ---------------------------
+                    # Same op order as the scalar ``_step``: gap cycles and
+                    # instruction counts land before the fault, the fault
+                    # latency is charged at the post-gap clock, and no TLB
+                    # hit is counted (``_alloc_page`` pre-fills the TLB).
+                    if profiling:
+                        fast = False
+                    else:
+                        clock += gapc[i]
+                        n_instr += gaps[i] + 1
+                        n_acc += 1
+                        lat = alloc_page(st, slot, clock)
+                        h_fault_rec(lat)
+                        clock += lat
+                        pfn = live[slot]
                 else:
                     vpn = vpn_base + slot
                     key = (domain, vpn)
                     ts = tlb_sets[(vpn ^ asid_mix) % tlb_nsets]
-                    if key not in ts:
-                        fast = False      # TLB-walk path
+                    if key in ts:
+                        clock += gapc[i]
+                        n_instr += gaps[i] + 1
+                        n_acc += 1
+                        ts.move_to_end(key)
+                        n_tlb += 1
+                    elif profiling:
+                        fast = False      # TLB-walk path under the profiler
+                    else:
+                        # -- TLB-walk path, inlined -------------------------
+                        # The scalar step's ``tlb.lookup`` counts the miss;
+                        # the probe above already established it.
+                        clock += gapc[i]
+                        n_instr += gaps[i] + 1
+                        n_acc += 1
+                        tlb_stats.misses += 1
+                        lat = page_walk(ci, domain, page_table, vpn, clock)
+                        h_walk_rec(lat)
+                        clock += lat
+                        tlb_insert(domain, vpn, pfn)
             if not fast:
                 st.clock = clock
                 st.pos = pos
@@ -217,12 +273,6 @@ class BatchedSimulator(Simulator):
                 pos = st.pos
             else:
                 # -- committed fast path (scalar _step flattened) ----------
-                clock += gapc[i]
-                n_instr += gaps[i] + 1
-                n_acc += 1
-                ts.move_to_end(key)
-                n_tlb += 1
-
                 is_write = writes[i]
                 addr = pfn * BLOCKS_PER_PAGE + blocks[i]  # DATA tag is 0
 
@@ -256,9 +306,9 @@ class BatchedSimulator(Simulator):
                     if is_write:
                         e2[0] = True
                     n_l2h += 1
-                    ev = l1_fill(addr, dirty=is_write)
-                    if ev is not None and ev.dirty:
-                        l2_fill(ev.addr, dirty=True)
+                    wb1 = l1_fill_absent(addr, is_write)
+                    if wb1 is not None:
+                        l2_fill(wb1, dirty=True)
                     n_hl2 += 1
                     clock += l2_cost
                     pos = i + 1
@@ -266,14 +316,14 @@ class BatchedSimulator(Simulator):
                     n_l2m += 1
                     llc_hit = llc_lookup(addr, is_write)
                     writebacks = None
-                    ev2 = l2_fill(addr)
-                    if ev2 is not None and ev2.dirty:
-                        ev_llc = llc_fill(ev2.addr, dirty=True)
+                    wb2 = l2_fill_absent(addr)
+                    if wb2 is not None:
+                        ev_llc = llc_fill(wb2, dirty=True)
                         if ev_llc is not None and ev_llc.dirty:
                             writebacks = [ev_llc.addr]
-                    ev1 = l1_fill(addr, dirty=is_write)
-                    if ev1 is not None and ev1.dirty:
-                        l2_fill(ev1.addr, dirty=True)
+                    wb1 = l1_fill_absent(addr, is_write)
+                    if wb1 is not None:
+                        l2_fill(wb1, dirty=True)
                     if llc_hit:                         # LLC hit
                         if writebacks:
                             handle_wb(writebacks, domain, clock)
@@ -281,12 +331,12 @@ class BatchedSimulator(Simulator):
                         clock += llc_cost
                         pos = i + 1
                     else:                               # LLC miss
-                        ev_llc = llc_fill(addr)
-                        if ev_llc is not None and ev_llc.dirty:
+                        wbllc = llc_fill_absent(addr)
+                        if wbllc is not None:
                             if writebacks is None:
-                                writebacks = [ev_llc.addr]
+                                writebacks = [wbllc]
                             else:
-                                writebacks.append(ev_llc.addr)
+                                writebacks.append(wbllc)
                         n_miss += 1
                         latency = llcf + engine_access(
                             domain, pfn, blocks[i], is_write, clock)

@@ -1,0 +1,278 @@
+"""Fast-path vs generic-path equivalence.
+
+PR 9 adds pre-bound monomorphic probe/fill closures to the cache models
+(``bind_fast_probe`` / ``bind_fast_fill``), a fused ``touch_dirty``
+probe, batched MIRAGE candidate hashing (``prime_candidates``) and a
+fused engine metadata path (``_verify_fast`` + memoized walk
+addresses).  All of them promise *bit-identical* behaviour to the
+generic instrumented code in every observable: hit/miss outcomes, LRU
+order, dirty bits, victims, stats and latencies.  This suite drives the
+fast and generic forms in lockstep and compares the full state:
+
+* a seeded property test runs a random probe/fill stream through two
+  identically-configured caches -- one via ``lookup``/``fill``, one via
+  the bound closures -- for plain, locked-way and MIRAGE organisations;
+* ``prime_candidates`` must memoize exactly the values the lazy
+  per-address hash would have produced (numpy uint64 wraparound
+  included);
+* ``touch_dirty`` must equal the ``contains`` + ``lookup(is_write=True)``
+  pair it fused (the SGX counter-tree dirty-walk regression);
+* every engine in the registry must produce identical results with
+  ``use_fast_path`` on and off.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.parallel import resolve_engine
+from repro.mem.cache import Cache
+from repro.mem.mirage import MirageCache
+from repro.sim.config import CacheConfig, tiny_config
+from repro.sim.simulator import Simulator
+from repro.workloads.mixes import build_mix
+
+from tests.test_batched import ALL_NINE
+
+#: Small geometry so a few hundred addresses generate real conflict
+#: pressure (evictions, write-backs, power-of-two-choices imbalance).
+_CFG = CacheConfig(4096, 4, hit_latency=10)       # 16 sets x 4 ways
+_N_ADDRS = 200
+_N_OPS = 4000
+
+
+def _snapshot(cache):
+    """Full observable state: per-set (addr, [dirty, locked]) in LRU
+    order, plus every counter the registry would see."""
+    state = [list(s.items()) for s in cache._sets]
+    counters = (cache.stats.hits, cache.stats.misses,
+                cache.evictions, cache.writebacks, cache._locked)
+    if isinstance(cache, MirageCache):
+        counters += (cache.skew0_fills, cache.skew1_fills)
+    return state, counters
+
+
+def _drive_pair(generic, fast, seed, n_ops=_N_OPS):
+    """Random probe/fill stream; ``generic`` uses the instrumented
+    methods, ``fast`` the pre-bound closures.  Divergence is asserted
+    per-operation so a failure names the first differing op."""
+    probe = fast.bind_fast_probe()
+    fill_absent = fast.bind_fast_fill()
+    rng = random.Random(seed)
+    for op in range(n_ops):
+        addr = rng.randrange(_N_ADDRS)
+        is_write = rng.random() < 0.4
+        hit_g = generic.lookup(addr, is_write=is_write)
+        hit_f = probe(addr, is_write)
+        assert hit_g == hit_f, f"probe diverged at op {op} addr {addr}"
+        if not hit_g:
+            # The fill_absent contract: only for a just-observed miss.
+            ev = generic.fill(addr, dirty=is_write)
+            wb_g = ev.addr if ev is not None and ev.dirty else None
+            wb_f = fill_absent(addr, dirty=is_write)
+            assert wb_g == wb_f, \
+                f"fill victim diverged at op {op} addr {addr}"
+    assert _snapshot(generic) == _snapshot(fast)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_plain_cache_fast_probe_fill_equivalent(seed):
+    _drive_pair(Cache(_CFG, "g"), Cache(_CFG, "f"), seed)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_locked_way_cache_fast_probe_fill_equivalent(seed):
+    """Way-locking (TreeLing root pinning) switches the victim pick from
+    the LRU head to a locked-aware scan; one set is even fully locked so
+    fills into it are dropped.  The closures must mirror all of it."""
+    generic, fast = Cache(_CFG, "g"), Cache(_CFG, "f")
+    n_sets = generic.n_sets
+    for cache in (generic, fast):
+        for way in range(cache.assoc):          # set 0: fully locked
+            cache.lock(0 + way * n_sets)
+        cache.lock(1)                            # set 1: one locked way
+        cache.lock(2 + n_sets)                   # set 2: one locked way
+    _drive_pair(generic, fast, seed)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_mirage_cache_fast_probe_fill_equivalent(seed):
+    """Same-seeded MIRAGE caches share hash keys, so the skewed probe,
+    power-of-two-choices placement and skew counters must all match."""
+    _drive_pair(MirageCache(_CFG, "g", seed=7),
+                MirageCache(_CFG, "f", seed=7), seed)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_mirage_locked_fast_probe_fill_equivalent(seed):
+    generic = MirageCache(_CFG, "g", seed=7)
+    fast = MirageCache(_CFG, "f", seed=7)
+    for cache in (generic, fast):
+        for addr in (0, 3, 17, 101):
+            cache.lock(addr)
+    _drive_pair(generic, fast, seed)
+
+
+def test_subclass_gets_generic_methods_back():
+    """An unknown subclass must keep its own semantics: the binders
+    return the instance's generic ``lookup`` / a ``fill``-based wrapper
+    instead of the baked-in closures."""
+    class Weird(Cache):
+        pass
+
+    c = Weird(_CFG, "w")
+    assert c.bind_fast_probe() == c.lookup
+    fill_absent = c.bind_fast_fill()
+    assert fill_absent(5, dirty=True) is None    # fills via generic fill
+    assert c.contains(5)
+
+    class WeirdMirage(MirageCache):
+        pass
+
+    m = WeirdMirage(_CFG, "wm", seed=7)
+    assert m.bind_fast_probe() == m.lookup
+    assert m.bind_fast_fill()(5, dirty=False) is None
+    assert m.contains(5)
+
+
+def test_prime_candidates_matches_lazy_hash():
+    """The numpy batch hash must memoize exactly the values the pure
+    Python splitmix64 produces -- including 64-bit wraparound."""
+    primed = MirageCache(_CFG, "p", seed=13)
+    lazy = MirageCache(_CFG, "l", seed=13)
+    addrs = list(range(0, 3000, 37)) + [2**40 + 123, 2**63, 2**64 - 5]
+    primed.prime_candidates(addrs)
+    for addr in addrs:
+        assert primed._cand[addr] == lazy._candidates(addr), hex(addr)
+    # Re-priming with overlap only hashes the missing tail.
+    primed.prime_candidates(addrs + [999_999])
+    assert primed._cand[999_999] == lazy._candidates(999_999)
+    # Plain caches expose the hook as a no-op.
+    Cache(_CFG, "c").prime_candidates(addrs)
+
+
+@pytest.mark.parametrize("make", [
+    lambda name: Cache(_CFG, name),
+    lambda name: MirageCache(_CFG, name, seed=7),
+], ids=["plain", "mirage"])
+def test_touch_dirty_equals_contains_then_dirty_lookup(make):
+    """``touch_dirty`` fuses the SGX dirty walk's old ``contains`` +
+    ``lookup(is_write=True)`` pair into one probe; hit/absent outcomes,
+    LRU refresh, dirty bits and stats must be indistinguishable."""
+    fused, paired = make("fused"), make("paired")
+    rng = random.Random(42)
+    for _ in range(600):
+        addr = rng.randrange(_N_ADDRS)
+        if rng.random() < 0.5:
+            for c in (fused, paired):
+                c.fill(addr, dirty=False)
+        else:
+            hit_f = fused.touch_dirty(addr)
+            present = paired.contains(addr)
+            if present:
+                paired.lookup(addr, is_write=True)
+            assert hit_f == present, f"touch_dirty diverged at {addr}"
+    assert _snapshot(fused) == _snapshot(paired)
+
+
+def test_sgx_dirty_walk_probes_each_node_once():
+    """Regression for the counter-tree write walk: the old code probed
+    the tree cache twice per path node (``contains`` then
+    ``lookup(is_write=True)``); the fused walk issues exactly one
+    ``touch_dirty`` per node and stops at the first cached level."""
+    eng = resolve_engine("sgx-counter-tree")(tiny_config(n_cores=2),
+                                             seed=11)
+    eng.use_fast_path = False        # pin the instrumented _verify_path
+    tc = eng.tree_cache
+    calls = {"touch": 0, "contains": 0}
+    orig_touch = tc.touch_dirty
+
+    def counting_touch(addr):
+        calls["touch"] += 1
+        return orig_touch(addr)
+
+    def counting_contains(addr):
+        calls["contains"] += 1
+        return Cache.contains(tc, addr)
+
+    tc.touch_dirty = counting_touch
+    tc.contains = counting_contains
+    path_len = len(eng.geo.path_addrs(5))
+    assert path_len > 0
+    # Cold write: the verification walk fills the whole path (dirty), so
+    # the dirty walk's first probe hits and the walk stops -- one fused
+    # probe, zero contains.
+    eng.data_access(0, 5, 0, True, 0.0)
+    assert calls["contains"] == 0, "dirty walk still double-probes"
+    assert 1 <= calls["touch"] <= path_len
+    # Warm write: path fully cached, the walk terminates on probe #1.
+    calls["touch"] = 0
+    eng.data_access(0, 5, 1, True, 100.0)
+    assert calls["touch"] == 1
+    assert calls["contains"] == 0
+
+
+def _run_engine(scheme, fast, mix="M-2", n_accesses=400, seed=3,
+                warmup=100):
+    """test_batched's harness, but comparing the engine's own fast and
+    instrumented paths on the scalar core (the batched-vs-scalar axis is
+    test_batched's job)."""
+    cfg = tiny_config(n_cores=4)
+    engine = resolve_engine(scheme)(cfg, seed=11)
+    if not fast:
+        engine.use_fast_path = False
+    workload = build_mix(mix, n_accesses=n_accesses, seed=seed, scale=0.05)
+    frame_policy = ("sequential" if scheme.startswith("static-partition")
+                    else "fragmented")
+    sim = Simulator(cfg, engine, seed=seed, frame_policy=frame_policy)
+    result = sim.run(workload, warmup=warmup)
+    hists = {name: h.to_dict() for name, h in sim._class_hist.items()}
+    return result.to_dict(), sim.registry.snapshot(), hists
+
+
+@pytest.mark.parametrize("scheme", ALL_NINE)
+def test_engine_fast_path_bit_identical(scheme):
+    """Every engine: ``use_fast_path`` on vs off yields equal results,
+    registry snapshots and histogram buckets."""
+    f_res, f_reg, f_hist = _run_engine(scheme, fast=True)
+    s_res, s_reg, s_hist = _run_engine(scheme, fast=False)
+    assert f_reg == s_reg
+    assert f_hist == s_hist, "per-class latency histogram buckets differ"
+    assert f_res == s_res
+
+
+def test_override_without_fast_walk_keeps_instrumented_path():
+    """An engine subclass that overrides ``_verify_path`` without
+    supplying the matching ``_verify_fast`` must never take the fast
+    path (it would silently run the parent's walk semantics)."""
+    from repro.secure.engine import BaselineEngine
+
+    class Overridden(BaselineEngine):
+        name = "overridden"
+
+        def _verify_path(self, domain, pfn, now, for_write):
+            return super()._verify_path(domain, pfn, now, for_write)
+
+    eng = Overridden(tiny_config(n_cores=2), seed=11)
+    assert not eng._fast_ok
+    base = resolve_engine("baseline")(tiny_config(n_cores=2), seed=11)
+    assert base._fast_ok
+
+
+def test_instance_verify_patch_routes_through_slow_path():
+    """The differential oracle patches ``_verify_path`` on instances
+    (fault injection); the gate must honour such patches."""
+    eng = resolve_engine("baseline")(tiny_config(n_cores=2), seed=11)
+    calls = []
+    orig = eng._data_access_slow
+
+    def counting_slow(*args):
+        calls.append(args)
+        return orig(*args)
+
+    eng._data_access_slow = counting_slow
+    eng.data_access(0, 3, 0, False, 0.0)
+    assert not calls, "untraced engine should take the fast path"
+    eng._verify_path = eng._verify_path      # instance-level shadow
+    eng.data_access(0, 3, 1, False, 0.0)
+    assert calls, "instance _verify_path patch must force the slow path"
