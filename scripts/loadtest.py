@@ -1,0 +1,335 @@
+#!/usr/bin/env python
+"""Load-test ``repro serve``: warm-cell latency, backpressure, coalescing.
+
+Drives a real server over real sockets through three phases and merges
+the numbers into ``BENCH_runner.json`` under a ``serve_loadtest`` key:
+
+1. **warm** -- open-loop load (Poisson-free fixed-rate arrivals, each
+   request on its own worker so a slow reply never delays the next
+   arrival) against a single already-cached cell; reports client-side
+   p50/p90/p99 latency and achieved throughput.
+2. **saturation** -- a burst of distinct cold cells against a small
+   queue; the server must shed the overflow with 429 + Retry-After
+   rather than building an unbounded backlog.
+3. **coalesce** -- N concurrent clients submit the *same* cold cell;
+   exactly one simulation may run.
+
+Usage:
+    python scripts/loadtest.py [--duration S] [--rate RPS]
+                               [--jobs N] [--queue-depth D]
+                               [--out BENCH_runner.json] [--cli]
+                               [--smoke]
+
+``--cli`` starts the server as a real ``python -m repro.cli serve``
+subprocess (what CI's serve-smoke job uses, so the CLI entry point is
+exercised end to end); the default runs it on a background thread in
+this process.  ``--smoke`` applies the acceptance gates: warm p50 under
+5 ms, at least one 429 under saturation, exactly one simulation for the
+coalesced burst.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.sim.provenance import run_manifest  # noqa: E402
+
+WARM_SPEC = {"mix": "S-1", "scheme": "baseline", "n_accesses": 400,
+             "warmup": 100}
+#: Cold cells for the saturation burst: big enough that the queue is
+#: still busy when the burst lands, small enough to drain in seconds.
+SATURATION_ACCESSES = 20_000
+COALESCE_ACCESSES = 8_000
+
+
+def request(host, port, method, path, body=None, conn=None):
+    """One JSON request; returns (status, payload, headers, latency_s)."""
+    own = conn is None
+    if own:
+        conn = http.client.HTTPConnection(host, port, timeout=120)
+    payload = json.dumps(body).encode() if body is not None else None
+    t0 = time.perf_counter()
+    conn.request(method, path, body=payload,
+                 headers={"Content-Type": "application/json"})
+    resp = conn.getresponse()
+    data = resp.read()
+    dt = time.perf_counter() - t0
+    headers = dict(resp.getheaders())
+    if own:
+        conn.close()
+    return resp.status, json.loads(data), headers, dt
+
+
+def percentile(sorted_vals, p):
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(p / 100.0 * len(sorted_vals)))
+    return sorted_vals[idx]
+
+
+def phase_warm(host, port, duration, rate):
+    """Open-loop fixed-rate arrivals against one warm cell."""
+    status, env, headers, _ = request(host, port, "POST", "/cells",
+                                      WARM_SPEC)
+    assert status == 200, f"priming request failed: {env}"
+    lat, errors = [], 0
+    lock = threading.Lock()
+
+    def one():
+        nonlocal errors
+        try:
+            s, _, h, dt = request(host, port, "POST", "/cells", WARM_SPEC)
+            with lock:
+                if s == 200 and h.get("X-Served-From") == "memory":
+                    lat.append(dt)
+                else:
+                    errors += 1
+        except OSError:
+            with lock:
+                errors += 1
+
+    n = max(1, int(duration * rate))
+    interval = 1.0 / rate
+    threads = []
+    t0 = time.perf_counter()
+    for i in range(n):
+        target = t0 + i * interval
+        delay = target - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        t = threading.Thread(target=one)
+        t.start()
+        threads.append(t)
+    for t in threads:
+        t.join(120)
+    wall = time.perf_counter() - t0
+    lat.sort()
+    return {
+        "n": n,
+        "rate_target_rps": rate,
+        "rate_achieved_rps": round(len(lat) / wall, 1) if wall else 0.0,
+        "errors": errors,
+        "p50_ms": round(percentile(lat, 50) * 1e3, 3),
+        "p90_ms": round(percentile(lat, 90) * 1e3, 3),
+        "p99_ms": round(percentile(lat, 99) * 1e3, 3),
+        "max_ms": round(lat[-1] * 1e3, 3) if lat else 0.0,
+        "served_from": headers.get("X-Served-From"),
+    }
+
+
+def phase_saturation(host, port, burst):
+    """Fire a burst of distinct cold cells with ``wait=false``; the
+    bounded queue must accept some and shed the rest with 429."""
+    accepted = rejected = 0
+    retry_after_ok = True
+    keys = []
+    conn = http.client.HTTPConnection(host, port, timeout=120)
+    for i in range(burst):
+        spec = {"mix": "S-2", "scheme": "baseline",
+                "n_accesses": SATURATION_ACCESSES, "warmup": 0,
+                "seed": 9000 + i, "wait": False}
+        s, env, h, _ = request(host, port, "POST", "/cells", spec,
+                               conn=conn)
+        if s == 202:
+            accepted += 1
+            keys.append(env["key"])
+        elif s == 429:
+            rejected += 1
+            retry_after_ok &= float(h.get("Retry-After", -1)) >= 1.0
+        else:
+            raise AssertionError(f"unexpected status {s}: {env}")
+    # drain so shutdown is quiet and accepted cells complete
+    deadline = time.time() + 300
+    for key in keys:
+        while time.time() < deadline:
+            s, _, _, _ = request(host, port, "GET", f"/cells/{key}",
+                                 conn=conn)
+            if s == 200:
+                break
+            time.sleep(0.25)
+    conn.close()
+    return {"burst": burst, "accepted": accepted,
+            "rejected_429": rejected,
+            "retry_after_present": retry_after_ok}
+
+
+def phase_coalesce(host, port, clients):
+    """N concurrent identical cold submissions; count simulations via
+    the server's own queue counters."""
+    _, before, _, _ = request(host, port, "GET", "/healthz")
+    spec = {"mix": "S-3", "scheme": "baseline",
+            "n_accesses": COALESCE_ACCESSES, "warmup": 0, "seed": 777}
+    results = []
+    lock = threading.Lock()
+
+    def one():
+        out = request(host, port, "POST", "/cells", spec)
+        with lock:
+            results.append(out)
+
+    threads = [threading.Thread(target=one) for _ in range(clients)]
+    for i, t in enumerate(threads):
+        t.start()
+        if i == 0:
+            time.sleep(0.1)   # let the first request open the inflight
+    for t in threads:
+        t.join(300)
+    _, after, _, _ = request(host, port, "GET", "/healthz")
+    sources = sorted(h.get("X-Served-From", "?")
+                     for _, _, h, _ in results)
+    return {
+        "clients": clients,
+        "ok": sum(1 for s, _, _, _ in results if s == 200),
+        "simulations": (after["queue"]["submitted"]
+                        - before["queue"]["submitted"]),
+        "sources": sources,
+        "config_hashes": sorted({env.get("config_hash", "?")
+                                 for _, env, _, _ in results}),
+    }
+
+
+def free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def start_cli_server(port, jobs, queue_depth, cache_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..",
+                                     "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--port", str(port), "--jobs", str(jobs),
+         "--queue-depth", str(queue_depth), "--cache-dir", cache_dir],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        try:
+            s, env_, _, _ = request("127.0.0.1", port, "GET", "/healthz")
+            if s == 200 and env_["ok"]:
+                return proc
+        except OSError:
+            time.sleep(0.1)
+    proc.terminate()
+    raise RuntimeError("CLI server did not come up within 30s")
+
+
+def merge_out(path, results) -> None:
+    """Fold the results into BENCH_runner.json (created if absent)."""
+    payload = {}
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as f:
+            payload = json.load(f)
+    payload["serve_loadtest"] = results
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--duration", type=float, default=3.0,
+                    help="warm-phase duration in seconds (default 3)")
+    ap.add_argument("--rate", type=float, default=100.0,
+                    help="warm-phase open-loop arrival rate (default "
+                         "100 rps)")
+    ap.add_argument("--jobs", type=int, default=1)
+    ap.add_argument("--queue-depth", type=int, default=2)
+    ap.add_argument("--burst", type=int, default=8,
+                    help="cold cells fired at the saturation phase")
+    ap.add_argument("--clients", type=int, default=4,
+                    help="concurrent identical clients for the "
+                         "coalesce phase")
+    ap.add_argument("--out", default="BENCH_runner.json")
+    ap.add_argument("--cache-dir", default=None,
+                    help="result-cache root (default: a fresh temp dir, "
+                         "so every phase's cold cells are really cold)")
+    ap.add_argument("--cli", action="store_true",
+                    help="run the server as a repro.cli subprocess")
+    ap.add_argument("--smoke", action="store_true",
+                    help="apply the acceptance gates (CI mode)")
+    args = ap.parse_args()
+
+    host = "127.0.0.1"
+    if args.cache_dir is None:
+        import tempfile
+        args.cache_dir = tempfile.mkdtemp(prefix="repro-loadtest-")
+    proc = handle = None
+    if args.cli:
+        port = free_port()
+        proc = start_cli_server(port, args.jobs, args.queue_depth,
+                                args.cache_dir)
+    else:
+        from repro.serve import serve_in_thread
+        handle = serve_in_thread(jobs=args.jobs,
+                                 queue_depth=args.queue_depth,
+                                 cache_dir=args.cache_dir)
+        port = handle.app.port
+    try:
+        print(f"server on {host}:{port} "
+              f"({'cli subprocess' if args.cli else 'in-process'})")
+        warm = phase_warm(host, port, args.duration, args.rate)
+        print(f"warm    p50={warm['p50_ms']}ms p99={warm['p99_ms']}ms "
+              f"({warm['rate_achieved_rps']} rps, "
+              f"{warm['errors']} errors)")
+        sat = phase_saturation(host, port, args.burst)
+        print(f"burst   {sat['accepted']} accepted, "
+              f"{sat['rejected_429']} shed with 429")
+        coal = phase_coalesce(host, port, args.clients)
+        print(f"coalesce {coal['clients']} clients -> "
+              f"{coal['simulations']} simulation(s)")
+    finally:
+        if handle is not None:
+            handle.stop()
+        if proc is not None:
+            proc.terminate()
+            proc.wait(30)
+
+    results = {
+        "config": {"jobs": args.jobs, "queue_depth": args.queue_depth,
+                   "rate_rps": args.rate, "duration_s": args.duration,
+                   "cli": args.cli},
+        "warm": warm,
+        "saturation": sat,
+        "coalesce": coal,
+        "manifest": run_manifest(loadtest=True),
+    }
+    merge_out(args.out, results)
+    print(f"wrote serve_loadtest -> {args.out}")
+
+    if args.smoke:
+        failures = []
+        if warm["p50_ms"] >= 5.0:
+            failures.append(f"warm p50 {warm['p50_ms']}ms >= 5ms")
+        if warm["errors"]:
+            failures.append(f"{warm['errors']} warm-phase errors")
+        if sat["rejected_429"] < 1:
+            failures.append("queue never shed load (no 429s)")
+        if not sat["retry_after_present"]:
+            failures.append("429s missing a sane Retry-After")
+        if coal["simulations"] != 1:
+            failures.append(
+                f"coalesced burst ran {coal['simulations']} simulations")
+        if len(coal["config_hashes"]) != 1:
+            failures.append("config_hash differed across coalesced "
+                            "responses")
+        if failures:
+            print("SMOKE FAILED:\n  " + "\n  ".join(failures))
+            return 1
+        print("smoke gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

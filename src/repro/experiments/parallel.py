@@ -30,6 +30,7 @@ import pickle
 import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from hashlib import sha256
 from pathlib import Path
@@ -53,6 +54,13 @@ DEFAULT_CACHE_DIR = os.path.join(".cache", "runs")
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 NO_CACHE_ENV = "REPRO_NO_CACHE"
 JOBS_ENV = "REPRO_JOBS"
+CELL_TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
+
+#: CellFailure kinds that describe the *host*, not the model: a hung or
+#: killed worker is not a deterministic outcome of the cell spec, so
+#: these are never written to the result cache (a healthy re-run must
+#: get a fresh chance).
+TRANSIENT_FAILURE_KINDS = frozenset({"timeout", "worker-crashed"})
 
 
 def default_cache_dir() -> str:
@@ -72,6 +80,73 @@ def default_jobs() -> int:
         except ValueError:
             pass
     return 1
+
+
+def cell_timeout_from_env() -> float | None:
+    """Per-cell wall-clock budget from ``REPRO_CELL_TIMEOUT`` (seconds).
+
+    Unset, empty or ``0`` means no timeout — the batch default, where a
+    long cell is usually a big cell, not a hung one.  Long-running
+    services (``repro serve``) pass an explicit timeout instead.
+    """
+    raw = os.environ.get(CELL_TIMEOUT_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        t = float(raw)
+    except ValueError:
+        return None
+    return t if t > 0 else None
+
+
+class CellTimeout(Exception):
+    """Raised inside a worker when the per-cell budget expires."""
+
+
+def is_transient_failure(outcome) -> bool:
+    """True for host-level failures that must not be cached."""
+    return (isinstance(outcome, CellFailure)
+            and outcome.kind in TRANSIENT_FAILURE_KINDS)
+
+
+def call_with_timeout(worker, spec, timeout: float | None):
+    """Run ``worker(spec)`` under a wall-clock budget.
+
+    The budget is enforced with ``SIGALRM``/``setitimer`` in the calling
+    process — which is the pool *worker* process on the parallel path and
+    the driver itself on the serial path — so a cell stuck in a Python
+    loop (or a sleeping syscall) is interrupted and converted into a
+    :class:`CellFailure` of kind ``"timeout"``, and the worker process
+    survives to take the next task.  Where ``SIGALRM`` is unavailable
+    (non-POSIX, or a non-main thread) the call degrades to no timeout
+    rather than failing.
+    """
+    if not timeout:
+        return worker(spec)
+    import signal
+    import threading
+    if (not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        return worker(spec)   # pragma: no cover - non-POSIX fallback
+
+    def _on_alarm(signum, frame):
+        raise CellTimeout(f"cell exceeded {timeout:g}s budget")
+
+    old_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return worker(spec)
+    except CellTimeout as exc:
+        return CellFailure("timeout", str(exc))
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old_handler)
+
+
+def _timed_worker(worker, spec, timeout):
+    """Module-level pool entry point wrapping ``worker`` in the budget
+    (module-level so it crosses the process-pool pickle boundary)."""
+    return call_with_timeout(worker, spec, timeout)
 
 
 # ---------------------------------------------------------------------------
@@ -205,34 +280,92 @@ def run_cell(cell: Cell):
 class ResultCache:
     """Content-addressed on-disk store of simulation outcomes.
 
-    One pickle file per cell key.  Writes are atomic (tempfile +
-    ``os.replace``), reads validate the envelope (schema version + key
-    echo) and treat *any* failure — truncated file, stale schema,
-    unpicklable bytes — as a miss: the entry is dropped and the cell is
-    re-simulated.  A corrupted cache can cost time, never correctness.
+    One pickle file per cell key, sharded into 256 subdirectories by the
+    first two hex characters of the key (``ab/<key>.pkl``) so many
+    worker processes — or many hosts over a shared filesystem — can use
+    one store without ever producing a 100k-entry flat directory.
+    Stores written by older versions in the flat layout are migrated
+    transparently: a flat entry is moved into its shard the first time
+    it is read (``os.replace``, so concurrent migrators race safely).
+
+    Writes are atomic (tempfile + ``os.replace``), reads validate the
+    envelope (schema version + key echo) and treat *any* failure —
+    truncated file, stale schema, unpicklable bytes — as a miss: the
+    entry is dropped and the cell is re-simulated.  A corrupted cache
+    can cost time, never correctness.
+
+    A process killed between ``mkstemp`` and ``os.replace`` orphans a
+    ``*.tmp`` file; construction sweeps tmp files older than
+    ``tmp_grace_s`` (stale by definition: a live writer holds its tmp
+    for milliseconds) so crashes cannot accumulate garbage.
     """
 
     #: Outcome types a payload may legally carry; other callers (e.g.
     #: the fault-injection campaigns) pass their own result types.
     DEFAULT_PAYLOAD_TYPES = (RunResult, CellFailure)
 
+    #: Age (seconds) past which an orphaned ``*.tmp`` file is fair game.
+    TMP_GRACE_S = 300.0
+
     def __init__(self, root: str | os.PathLike | None = None,
-                 payload_types: tuple[type, ...] | None = None) -> None:
+                 payload_types: tuple[type, ...] | None = None,
+                 tmp_grace_s: float | None = None) -> None:
         self.root = Path(root if root is not None else default_cache_dir())
         self.payload_types = payload_types or self.DEFAULT_PAYLOAD_TYPES
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.recovered = 0   # corrupted/stale entries dropped on read
+        self.migrated = 0    # flat-layout entries moved into shards
+        self.tmp_swept = sweep_stale_tmp(
+            self.root,
+            self.TMP_GRACE_S if tmp_grace_s is None else tmp_grace_s)
 
     def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def _flat_path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
+
+    def _migrate_flat(self, key: str) -> Path:
+        """Best-effort move of a pre-sharding flat entry into its shard.
+
+        Returns the path the entry should now be read from: the sharded
+        path after a successful move (or after losing the race to a
+        concurrent migrator — ``os.replace`` is atomic either way), or
+        the flat path itself when the store is read-only.
+        """
+        flat = self._flat_path(key)
+        dest = self._path(key)
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(flat, dest)
+            self.migrated += 1
+        except FileNotFoundError:
+            pass   # no flat entry, or a concurrent migrator won the race
+        except OSError:
+            return flat   # read-only store: read the flat entry in place
+        return dest
 
     def get(self, key: str):
         """Cached outcome for ``key`` or ``None`` (never raises)."""
+        entry = self.get_entry(key)
+        return entry[0] if entry is not None else None
+
+    def get_entry(self, key: str):
+        """``(outcome, cell)`` for ``key`` or ``None`` (never raises).
+
+        Like :meth:`get` but also returning the spec echo stored next
+        to the outcome (``None`` for non-Cell payloads) — the serve
+        layer rebuilds response provenance from it.
+        """
         path = self._path(key)
         try:
-            with open(path, "rb") as f:
+            try:
+                f = open(path, "rb")
+            except FileNotFoundError:
+                f = open(self._migrate_flat(key), "rb")
+            with f:
                 payload = pickle.load(f)
             if (not isinstance(payload, dict)
                     or payload.get("cache_schema") != CACHE_SCHEMA_VERSION
@@ -254,7 +387,7 @@ class ResultCache:
                 pass
             return None
         self.hits += 1
-        return outcome
+        return outcome, payload.get("cell")
 
     def put(self, key: str, outcome, cell: Cell | None = None) -> None:
         """Persist ``outcome`` under ``key``; best-effort (never raises)."""
@@ -265,12 +398,13 @@ class ResultCache:
             "outcome": outcome,
         }
         try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            dest = self._path(key)
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=dest.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as f:
                     pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, self._path(key))
+                os.replace(tmp, dest)
             except BaseException:
                 try:
                     os.unlink(tmp)
@@ -281,17 +415,50 @@ class ResultCache:
             return   # read-only/ full disk: run uncached
         self.stores += 1
 
+    def _entries(self):
+        """Every on-disk artifact: (path, is_tmp) over both layouts."""
+        if not self.root.is_dir():
+            return
+        for pattern in ("*.pkl", "*.tmp", "*/*.pkl", "*/*.tmp"):
+            for p in self.root.glob(pattern):
+                yield p, p.suffix == ".tmp"
+
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry — sharded and legacy-flat, plus any
+        orphaned ``*.tmp`` files; returns the number removed."""
         n = 0
-        if self.root.is_dir():
-            for p in self.root.glob("*.pkl"):
-                try:
-                    p.unlink()
-                    n += 1
-                except OSError:
-                    pass
+        for p, is_tmp in list(self._entries()):
+            try:
+                p.unlink()
+                n += 1
+                if is_tmp:
+                    self.tmp_swept += 1
+            except OSError:
+                pass
         return n
+
+
+def sweep_stale_tmp(root: Path, grace_s: float) -> int:
+    """Unlink orphaned ``*.tmp`` files older than ``grace_s`` seconds.
+
+    A crash between ``mkstemp`` and ``os.replace`` leaves the tempfile
+    behind; anything past the grace window cannot belong to a live
+    writer (a put holds its tmp for the duration of one pickle dump).
+    Returns the number removed; never raises.
+    """
+    swept = 0
+    if not root.is_dir():
+        return 0
+    cutoff = time.time() - grace_s
+    for pattern in ("*.tmp", "*/*.tmp"):
+        for p in root.glob(pattern):
+            try:
+                if p.stat().st_mtime <= cutoff:
+                    p.unlink()
+                    swept += 1
+            except OSError:
+                pass   # racing writer finished, or concurrent sweeper
+    return swept
 
 
 # ---------------------------------------------------------------------------
@@ -315,7 +482,13 @@ def _spec_label(spec) -> str:
     return type(spec).__name__
 
 
-def _instrumented(worker, spec):
+def _crash_failure(exc) -> CellFailure:
+    return CellFailure("worker-crashed",
+                       f"worker process died ({exc!r}) — OOM kill or "
+                       f"hard crash; outcome not cached")
+
+
+def _instrumented(worker, spec, timeout=None):
     """Run one task under per-cell telemetry (module-level: it crosses
     the process-pool pickle boundary).
 
@@ -328,7 +501,7 @@ def _instrumented(worker, spec):
 
     m = Metrics()
     t0 = time.perf_counter()
-    outcome = worker(spec)
+    outcome = call_with_timeout(worker, spec, timeout)
     wall = time.perf_counter() - t0
     rss = peak_rss_kb()
     failed = isinstance(outcome, CellFailure)
@@ -357,7 +530,8 @@ def _note_done(reporter, metrics, key: str, spec, outcome, meta) -> None:
 
 def execute_tasks(specs: Sequence, worker, key_fn, jobs: int = 1,
                   cache: ResultCache | None = None,
-                  reporter=None, metrics=None) -> list:
+                  reporter=None, metrics=None,
+                  timeout: float | None = None) -> list:
     """Generic fan-out: run ``worker(spec)`` for every spec through the
     persistent cache.
 
@@ -374,7 +548,16 @@ def execute_tasks(specs: Sequence, worker, key_fn, jobs: int = 1,
     peak RSS, live results via ``as_completed``.  With both ``None``
     (the default) the execution path is byte-for-byte the untelemetered
     one — no wrapper callable, no extra pickling.
+
+    ``timeout`` bounds each cell's wall-clock time: a hung worker is
+    interrupted (see :func:`call_with_timeout`) and its cell becomes a
+    ``CellFailure(kind="timeout")`` instead of stalling the sweep
+    forever; an OOM-killed worker surfaces as ``kind="worker-crashed"``.
+    ``None`` defers to ``$REPRO_CELL_TIMEOUT`` (default: no timeout);
+    neither failure kind is ever cached.
     """
+    if timeout is None:
+        timeout = cell_timeout_from_env()
     keys = [key_fn(spec) for spec in specs]
     outcomes: dict[str, object] = {}
     pending: list[tuple[str, object]] = []
@@ -405,21 +588,32 @@ def execute_tasks(specs: Sequence, worker, key_fn, jobs: int = 1,
     if pending:
         if not telemetry:
             if jobs <= 1 or len(pending) == 1:
-                fresh = [(key, worker(spec)) for key, spec in pending]
+                fresh = [(key, call_with_timeout(worker, spec, timeout))
+                         for key, spec in pending]
             else:
                 workers = min(jobs, len(pending))
                 with ProcessPoolExecutor(
                         max_workers=workers,
                         mp_context=_pool_context()) as pool:
-                    futures = [(key, pool.submit(worker, spec))
-                               for key, spec in pending]
-                    fresh = [(key, fut.result()) for key, fut in futures]
+                    if timeout:
+                        futures = [(key, pool.submit(_timed_worker, worker,
+                                                     spec, timeout))
+                                   for key, spec in pending]
+                    else:
+                        futures = [(key, pool.submit(worker, spec))
+                                   for key, spec in pending]
+                    fresh = []
+                    for key, fut in futures:
+                        try:
+                            fresh.append((key, fut.result()))
+                        except BrokenProcessPool as exc:
+                            fresh.append((key, _crash_failure(exc)))
         elif jobs <= 1 or len(pending) == 1:
             fresh = []
             for key, spec in pending:
                 if reporter is not None:
                     reporter.cell_start(key, label=_spec_label(spec))
-                outcome, meta = _instrumented(worker, spec)
+                outcome, meta = _instrumented(worker, spec, timeout)
                 _note_done(reporter, metrics, key, spec, outcome, meta)
                 fresh.append((key, outcome))
         else:
@@ -432,18 +626,23 @@ def execute_tasks(specs: Sequence, worker, key_fn, jobs: int = 1,
                 for key, spec in pending:
                     if reporter is not None:
                         reporter.cell_start(key, label=_spec_label(spec))
-                    fut = pool.submit(_instrumented, worker, spec)
+                    fut = pool.submit(_instrumented, worker, spec, timeout)
                     fut_info[fut] = (key, spec)
                 # as_completed so progress is live, not end-of-sweep.
                 for fut in as_completed(fut_info):
                     key, spec = fut_info[fut]
-                    outcome, meta = fut.result()
+                    try:
+                        outcome, meta = fut.result()
+                    except BrokenProcessPool as exc:
+                        outcome = _crash_failure(exc)
+                        meta = {"wall_s": 0.0, "peak_rss_kb": 0,
+                                "metrics": {}}
                     done[key] = outcome
                     _note_done(reporter, metrics, key, spec, outcome, meta)
             fresh = [(key, done[key]) for key, _ in pending]
         for (key, spec), (_, outcome) in zip(pending, fresh):
             outcomes[key] = outcome
-            if cache is not None:
+            if cache is not None and not is_transient_failure(outcome):
                 cache.put(key, outcome,
                           spec if isinstance(spec, Cell) else None)
 
@@ -460,16 +659,20 @@ def execute_tasks(specs: Sequence, worker, key_fn, jobs: int = 1,
 
 def execute(cells: Sequence[Cell], jobs: int = 1,
             cache: ResultCache | None = None,
-            reporter=None, metrics=None) -> list:
+            reporter=None, metrics=None,
+            timeout: float | None = None) -> list:
     """Run every cell, in parallel, through the persistent cache.
 
     Returns outcomes aligned with ``cells`` (a :class:`RunResult` or
     :class:`CellFailure` per cell).  Duplicate cells are simulated once.
     ``jobs<=1`` runs in-process; otherwise misses fan out over a
     ``ProcessPoolExecutor`` with ``min(jobs, misses)`` workers.
+    ``timeout`` (or ``$REPRO_CELL_TIMEOUT``) bounds each cell's wall
+    time; see :func:`execute_tasks`.
     """
     return execute_tasks(cells, run_cell, cell_key, jobs=jobs, cache=cache,
-                         reporter=reporter, metrics=metrics)
+                         reporter=reporter, metrics=metrics,
+                         timeout=timeout)
 
 
 def scale_cell(mix: str, scheme: str, sc,

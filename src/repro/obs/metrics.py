@@ -28,6 +28,8 @@ import time
 from contextlib import contextmanager
 from typing import Dict
 
+from repro.sim.hist import LatencyHistogram
+
 
 def series_key(name: str, labels: dict) -> str:
     """Canonical ``name{k=v,...}`` identity of one labeled series."""
@@ -98,6 +100,7 @@ class Metrics:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._timers: Dict[str, Timer] = {}
+        self._hists: Dict[str, LatencyHistogram] = {}
 
     # -- instrument access (memoized per name+labels) -----------------------
 
@@ -122,20 +125,40 @@ class Metrics:
             inst = self._timers[key] = Timer()
         return inst
 
+    def histogram(self, name: str, **labels) -> LatencyHistogram:
+        """Log-bucketed distribution (the PR 2 HDR-style histogram) —
+        for per-endpoint service latency (p50/p99), queue waits, and
+        anything else where a mean hides the tail.  Record integer
+        units (e.g. microseconds) for exact linear-region percentiles."""
+        key = series_key(name, labels)
+        inst = self._hists.get(key)
+        if inst is None:
+            inst = self._hists[key] = LatencyHistogram()
+        return inst
+
     # -- snapshot / merge ----------------------------------------------------
 
     def snapshot(self) -> dict:
         """JSON-ready view, structured by instrument kind."""
-        return {
+        snap = {
             "counters": {k: c.value for k, c in self._counters.items()},
             "gauges": {k: g.value for k, g in self._gauges.items()},
             "timers": {k: {"total_s": t.total_s, "count": t.count}
                        for k, t in self._timers.items()},
         }
+        if self._hists:
+            snap["histograms"] = {
+                k: {"count": h.count, "sum": h.total,
+                    "mean": h.mean, "p50": h.percentile(50),
+                    "p95": h.percentile(95), "p99": h.percentile(99),
+                    "buckets": {str(i): n for i, n in h.counts.items()}}
+                for k, h in self._hists.items()}
+        return snap
 
     def merge(self, snap: dict) -> None:
         """Fold a :meth:`snapshot` (e.g. from a pool worker) into this
-        set: counters and timers add, gauges keep the max."""
+        set: counters, timers and histogram buckets add, gauges keep
+        the max."""
         for key, v in snap.get("counters", {}).items():
             self.counter_by_key(key).inc(v)
         for key, v in snap.get("gauges", {}).items():
@@ -144,6 +167,18 @@ class Metrics:
             t = self.timer_by_key(key)
             t.total_s += v["total_s"]
             t.count += v["count"]
+        for key, v in snap.get("histograms", {}).items():
+            h = self._hists.get(key)
+            if h is None:
+                h = self._hists[key] = LatencyHistogram()
+            for idx, n in v.get("buckets", {}).items():
+                idx = int(idx)
+                h.counts[idx] = h.counts.get(idx, 0) + n
+            h.count += v["count"]
+            h.total += v["sum"]
+            if h.counts:
+                h.min = h.bucket_bounds(min(h.counts))[0]
+                h.max = h.bucket_bounds(max(h.counts))[1] - 1
 
     # Pre-canonicalised access, for merge and for callers that carry the
     # full series key around (label round-tripping not required).
@@ -174,6 +209,8 @@ class Metrics:
         for t in self._timers.values():
             t.total_s = 0.0
             t.count = 0
+        for h in self._hists.values():
+            h.reset()
 
     # -- StatsRegistry integration ------------------------------------------
 
@@ -192,4 +229,7 @@ class Metrics:
         for key, t in self._timers.items():
             flat[f"timer.{key}.total_s"] = t.total_s
             flat[f"timer.{key}.count"] = t.count
+        for key, h in self._hists.items():
+            flat[f"hist.{key}.count"] = h.count
+            flat[f"hist.{key}.sum"] = h.total
         return flat

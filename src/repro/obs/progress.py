@@ -43,6 +43,36 @@ from typing import Optional, TextIO
 PROGRESS_ENV = "REPRO_PROGRESS"
 
 
+def read_events(path: str | os.PathLike) -> list:
+    """Parse a JSONL event stream, tolerating a torn trailing line.
+
+    A sweep that crashed (or was SIGKILLed) mid-write leaves at most
+    one partial record at the *end* of the file — every earlier record
+    was flushed whole by :meth:`ProgressReporter._emit`.  The torn tail
+    is silently dropped; corruption anywhere *before* the tail is real
+    damage and still raises ``ValueError`` (with the line number), so a
+    truncated log reads cleanly but a mangled one does not pass silently.
+    """
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        lines = f.read().split("\n")
+    last = len(lines) - 1
+    while last >= 0 and not lines[last].strip():
+        last -= 1
+    events = []
+    for i, line in enumerate(lines[:last + 1]):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except ValueError:
+            if i == last:
+                break   # torn trailing record from a crashed writer
+            raise ValueError(
+                f"corrupt JSONL event stream {path}: unparsable record "
+                f"at line {i + 1} (not the trailing line)")
+    return events
+
+
 def make_reporter(progress: str | None = None,
                   stream: TextIO | None = None) -> Optional["ProgressReporter"]:
     """Build a reporter from a ``--progress``-style setting.
@@ -86,8 +116,20 @@ class ProgressReporter:
     def _emit(self, event: str, **fields) -> None:
         if self._jsonl is not None:
             rec = {"event": event, "ts": time.time(), **fields}
+            # One write + flush per record: a crashed sweep loses at
+            # most a torn *trailing* line (which read_events skips),
+            # never whole buffered events.
             self._jsonl.write(json.dumps(rec, sort_keys=True) + "\n")
             self._jsonl.flush()
+
+    def _fsync(self) -> None:
+        """Push the stream to stable storage (sweep boundaries only —
+        per-event fsync would serialize the pool on disk latency)."""
+        if self._jsonl is not None:
+            try:
+                os.fsync(self._jsonl.fileno())
+            except (OSError, ValueError):
+                pass   # not a real file (StringIO) or already closed
 
     def _live(self, text: str) -> None:
         if self._is_tty:
@@ -160,6 +202,7 @@ class ProgressReporter:
                    cache_hits=cache_hits, cache_misses=cache_misses,
                    cache_hit_ratio=round(cache_hits / probes, 4)
                    if probes else 0.0)
+        self._fsync()
         self._end_live()
 
     def close(self) -> None:

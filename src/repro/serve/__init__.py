@@ -1,0 +1,23 @@
+"""``repro serve``: a long-running async simulation service that puts
+an HTTP/JSON API in front of the content-addressed ResultCache.
+
+Warm cells (anything anyone ever simulated under the current config
+and schema versions) are answered from an in-memory LRU or the sharded
+on-disk store; cold cells run on the batch engine's process pool behind
+bounded admission control (429 + Retry-After under saturation) with
+identical in-flight requests coalesced onto one computation.  See
+EXPERIMENTS.md for the API schema and docs/OBSERVABILITY.md for the
+service metrics.
+"""
+
+from repro.serve.app import (EventBus, ServeApp, ServerHandle,
+                             serve_in_thread)
+from repro.serve.coalesce import Inflight, InflightTable
+from repro.serve.queue import (DEFAULT_SERVE_TIMEOUT, QueueFull,
+                               SimulationQueue)
+
+__all__ = [
+    "DEFAULT_SERVE_TIMEOUT", "EventBus", "Inflight", "InflightTable",
+    "QueueFull", "ServeApp", "ServerHandle", "SimulationQueue",
+    "serve_in_thread",
+]

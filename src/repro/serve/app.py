@@ -1,0 +1,443 @@
+"""``repro serve`` — the async simulation service over the ResultCache.
+
+One asyncio event loop owns all bookkeeping (memo, in-flight table,
+queue accounting, metrics); simulations run in the experiment engine's
+process pool.  The request path is:
+
+1. **memory** — a small LRU of recently served response envelopes
+   (warm cells answer in microseconds, no disk, no pickle);
+2. **disk** — the content-addressed, sharded ResultCache shared with
+   batch sweeps (a cell anyone ever simulated is warm for everyone);
+3. **coalesce** — if the same ``cell_key`` is already in flight, join
+   it (N identical requests cost one simulation);
+4. **queue** — bounded admission onto the process pool; beyond
+   ``queue_depth`` outstanding cells the server sheds load with
+   429 + Retry-After instead of building an unbounded backlog.
+
+Progress events ride the PR 7 :class:`ProgressReporter` schema —
+``cell_start`` / ``cell_cached`` / ``cell_finish`` / ``cell_failed`` —
+republished live to SSE/JSONL subscribers on ``GET /events`` and
+optionally appended to an on-disk JSONL log.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import OrderedDict
+
+from repro.experiments.parallel import ResultCache, is_transient_failure
+from repro.obs.metrics import Metrics
+from repro.obs.progress import ProgressReporter
+from repro.serve import handlers
+from repro.serve.coalesce import InflightTable
+from repro.serve.http import (HttpError, json_response, read_request,
+                              stream_header_bytes)
+from repro.serve.queue import (DEFAULT_SERVE_TIMEOUT, QueueFull,
+                               SimulationQueue)
+from repro.sim.provenance import run_manifest
+
+#: Per-subscriber event buffer; a consumer this far behind loses the
+#: oldest events (counted) rather than stalling the server.
+SUBSCRIBER_BUFFER = 256
+
+#: Seconds between keepalive comments on idle event streams.
+KEEPALIVE_S = 15.0
+
+
+class EventBus:
+    """Fan-out of progress events to live SSE/JSONL subscribers."""
+
+    def __init__(self) -> None:
+        self._subs: set[asyncio.Queue] = set()
+        self.published = 0
+        self.dropped = 0
+
+    def subscribe(self) -> asyncio.Queue:
+        q: asyncio.Queue = asyncio.Queue(maxsize=SUBSCRIBER_BUFFER)
+        self._subs.add(q)
+        return q
+
+    def unsubscribe(self, q: asyncio.Queue) -> None:
+        self._subs.discard(q)
+
+    def publish(self, record: dict) -> None:
+        self.published += 1
+        for q in self._subs:
+            try:
+                q.put_nowait(record)
+            except asyncio.QueueFull:
+                self.dropped += 1
+
+
+class BusReporter(ProgressReporter):
+    """A :class:`ProgressReporter` whose events also fan out to the
+    bus — one schema for batch JSONL logs and live service streams."""
+
+    def __init__(self, bus: EventBus,
+                 jsonl_path: str | None = None) -> None:
+        super().__init__(jsonl_path=jsonl_path)
+        self.bus = bus
+
+    def _emit(self, event: str, **fields) -> None:
+        super()._emit(event, **fields)
+        self.bus.publish({"event": event, "ts": time.time(), **fields})
+
+    def _live(self, text: str) -> None:
+        pass   # a server has no sweep progress line
+
+    def _end_live(self) -> None:
+        pass
+
+
+class ServeApp:
+    """The service: routing, caching tiers, admission, lifecycle."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 cache_dir: str | None = None, jobs: int = 1,
+                 queue_depth: int = 16,
+                 cell_timeout: float | None = DEFAULT_SERVE_TIMEOUT,
+                 memo_size: int = 1024,
+                 max_accesses: int = 200_000,
+                 events_log: str | None = None,
+                 worker=None) -> None:
+        self.host = host
+        self.port = port
+        self.cache = ResultCache(cache_dir)
+        self.queue = SimulationQueue(
+            jobs=jobs, depth=queue_depth, timeout=cell_timeout,
+            **({"worker": worker} if worker is not None else {}))
+        self.inflight = InflightTable()
+        self.memo: OrderedDict[str, tuple] = OrderedDict()
+        self.memo_size = memo_size
+        self.max_accesses = max_accesses
+        self.metrics = Metrics()
+        self.bus = EventBus()
+        self.reporter = BusReporter(self.bus, jsonl_path=events_log)
+        self.manifest = run_manifest(
+            jobs=jobs, queue_depth=queue_depth,
+            cell_timeout=cell_timeout, cache_dir=str(self.cache.root))
+        self._server: asyncio.base_events.Server | None = None
+        self._t0 = time.monotonic()
+
+    # -- caching tiers -------------------------------------------------------
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._t0
+
+    def _memoize(self, key: str, status: int, env: dict) -> None:
+        self.memo[key] = (status, env)
+        self.memo.move_to_end(key)
+        while len(self.memo) > self.memo_size:
+            self.memo.popitem(last=False)
+
+    def lookup_warm(self, key: str):
+        """(status, envelope, source) from memory or disk, else None."""
+        hit = self.memo.get(key)
+        if hit is not None:
+            self.memo.move_to_end(key)
+            self.metrics.counter("warm_hits", tier="memory").inc()
+            return hit[0], hit[1], "memory"
+        entry = self.cache.get_entry(key)
+        if entry is not None:
+            outcome, cell = entry
+            status, env = handlers.build_envelope(key, cell, outcome)
+            self._memoize(key, status, env)
+            self.metrics.counter("warm_hits", tier="disk").inc()
+            return status, env, "disk"
+        return None
+
+    # -- cold-cell computation -----------------------------------------------
+
+    def admit(self, key: str, cell):
+        """Admission-control one cold cell; returns its Inflight entry
+        or raises :class:`HttpError` 429 with an honest Retry-After."""
+        try:
+            qfut = self.queue.try_submit(cell)
+        except QueueFull as exc:
+            self.metrics.counter("rejected_429").inc()
+            raise HttpError(
+                429,
+                f"simulation queue full ({exc.depth} outstanding); "
+                f"retry after {exc.retry_after:g}s",
+                headers={"Retry-After": f"{exc.retry_after:g}"})
+        entry = self.inflight.open(key)
+        entry.task = asyncio.ensure_future(
+            self._compute(key, cell, qfut))
+        self.refresh_gauges()
+        return entry
+
+    async def _compute(self, key: str, cell, qfut) -> tuple:
+        """Own one cold cell to completion; resolves to (status, env)."""
+        label = f"{cell.mix}/{cell.scheme}"
+        self.reporter.cell_start(key, label=label)
+        t0 = time.perf_counter()
+        try:
+            try:
+                outcome = await qfut
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:
+                # BrokenProcessPool (OOM-killed worker) or a worker-side
+                # bug: transient host failure, pool gets respawned.
+                from repro.experiments.parallel import _crash_failure
+                self.queue.reset_pool()
+                outcome = _crash_failure(exc)
+            wall = time.perf_counter() - t0
+            if not is_transient_failure(outcome):
+                self.cache.put(key, outcome, cell)
+            status, env = handlers.build_envelope(key, cell, outcome)
+            if status == 200:
+                self._memoize(key, status, env)
+                if env["status"] == "failed":
+                    self.reporter.cell_failed(
+                        key, env["outcome"]["kind"],
+                        env["outcome"]["message"], label=label,
+                        wall_s=wall)
+                else:
+                    self.reporter.cell_finish(key, label=label,
+                                              wall_s=wall)
+                self.metrics.timer("cell_wall").observe(wall)
+            else:
+                self.reporter.cell_failed(
+                    key, env["outcome"]["kind"],
+                    env["outcome"]["message"], label=label, wall_s=wall)
+                self.metrics.counter(
+                    "transient_failures",
+                    kind=env["outcome"]["kind"]).inc()
+            return status, env
+        finally:
+            self.inflight.close(key)
+            self.refresh_gauges()
+
+    def refresh_gauges(self) -> None:
+        self.metrics.gauge("queue_pending").set(self.queue.pending)
+        self.metrics.gauge("queue_pending_max").set_max(
+            self.queue.pending)
+        self.metrics.gauge("inflight").set(len(self.inflight))
+        self.metrics.gauge("memo_entries").set(len(self.memo))
+        probes = self.cache.hits + self.cache.misses
+        self.metrics.gauge("cache_hit_ratio").set(
+            round(self.cache.hits / probes, 4) if probes else 0.0)
+        self.metrics.gauge("events_dropped").set(self.bus.dropped)
+
+    # -- routing -------------------------------------------------------------
+
+    def _route(self, request):
+        """(endpoint_name, handler) or raises HttpError."""
+        parts = request.parts
+        head = parts[0] if parts else ""
+        if head == "healthz":
+            return "healthz", handlers.healthz
+        if head == "metrics":
+            return "metrics", handlers.metrics
+        if head == "cells" and len(parts) == 1:
+            if request.method != "POST":
+                raise HttpError(405, "use POST /cells to submit a spec")
+            return "post_cells", handlers.post_cells
+        if head == "cells" and len(parts) == 2:
+            if request.method != "GET":
+                raise HttpError(405, "cell results are read-only")
+            return "get_cell", handlers.get_cell
+        raise HttpError(404, f"no such endpoint {request.path!r}")
+
+    async def _dispatch(self, request) -> bytes:
+        t0 = time.perf_counter()
+        endpoint = "error"
+        try:
+            endpoint, handler = self._route(request)
+            status, payload, headers = await handler(self, request)
+            resp = json_response(status, payload, headers=headers,
+                                 keep_alive=request.keep_alive)
+        except HttpError as exc:
+            status = exc.status
+            resp = json_response(
+                status, {"error": exc.message, "status": status},
+                headers=exc.headers, keep_alive=request.keep_alive)
+        except Exception as exc:   # noqa: BLE001 - boundary
+            status = 500
+            resp = json_response(
+                status, {"error": f"internal error: {exc!r}",
+                         "status": status},
+                keep_alive=False)
+        us = int((time.perf_counter() - t0) * 1e6)
+        self.metrics.histogram("request_us", endpoint=endpoint).record(us)
+        self.metrics.counter("requests", endpoint=endpoint,
+                             code=status).inc()
+        return resp
+
+    # -- event streaming -----------------------------------------------------
+
+    async def stream_events(self, request, writer) -> None:
+        """SSE (default) or JSONL feed of live progress events; holds
+        the connection until the client disconnects."""
+        import json as _json
+        fmt = request.query.get("format")
+        if fmt is None:
+            accept = request.headers.get("accept", "")
+            fmt = "jsonl" if "application/x-ndjson" in accept else "sse"
+        if fmt not in ("sse", "jsonl"):
+            raise HttpError(400, "format must be 'sse' or 'jsonl'")
+        key_filter = request.query.get("key")
+        ctype = ("application/x-ndjson" if fmt == "jsonl"
+                 else "text/event-stream")
+        writer.write(stream_header_bytes(ctype))
+        await writer.drain()
+        q = self.bus.subscribe()
+        self.metrics.counter("event_subscribers").inc()
+        try:
+            while True:
+                try:
+                    rec = await asyncio.wait_for(q.get(),
+                                                 timeout=KEEPALIVE_S)
+                except asyncio.TimeoutError:
+                    writer.write(b": keepalive\n\n" if fmt == "sse"
+                                 else b"\n")
+                    await writer.drain()
+                    continue
+                if key_filter and rec.get("key") != key_filter:
+                    continue
+                line = _json.dumps(rec, sort_keys=True)
+                if fmt == "sse":
+                    writer.write(f"data: {line}\n\n".encode())
+                else:
+                    writer.write(f"{line}\n".encode())
+                await writer.drain()
+        finally:
+            self.bus.unsubscribe(q)
+
+    # -- connection / lifecycle ----------------------------------------------
+
+    async def _handle_conn(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    writer.write(json_response(
+                        exc.status,
+                        {"error": exc.message, "status": exc.status},
+                        keep_alive=False))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                if request.parts and request.parts[0] == "events":
+                    try:
+                        await self.stream_events(request, writer)
+                    except HttpError as exc:
+                        writer.write(json_response(
+                            exc.status,
+                            {"error": exc.message, "status": exc.status},
+                            keep_alive=False))
+                        await writer.drain()
+                    return   # stream connections never keep-alive
+                writer.write(await self._dispatch(request))
+                await writer.drain()
+                if not request.keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown while this connection was parked on a
+            # keep-alive read; completing (not re-raising) keeps
+            # asyncio's stream callback from logging a spurious
+            # traceback for every idle connection.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def start(self) -> int:
+        """Bind and start serving; returns the actual port (``port=0``
+        picks a free one — how tests and the loadtest run hermetically)."""
+        self._server = await asyncio.start_server(
+            self._handle_conn, host=self.host, port=self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.reporter.sweep_start(total=0, cached=0, jobs=self.queue.jobs)
+        return self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for key in self.inflight.keys():
+            entry = self.inflight.get(key)
+            if entry is not None and entry.task is not None:
+                entry.task.cancel()
+        self.queue.close()
+        self.reporter.sweep_end(cache_hits=self.cache.hits,
+                                cache_misses=self.cache.misses)
+        self.reporter.close()
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+
+class ServerHandle:
+    """A running server on a background thread (tests, loadtest)."""
+
+    def __init__(self, app: ServeApp, thread: threading.Thread,
+                 loop: asyncio.AbstractEventLoop) -> None:
+        self.app = app
+        self.thread = thread
+        self.loop = loop
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.app.host}:{self.app.port}"
+
+    def stop(self, timeout: float = 10.0) -> None:
+        try:
+            asyncio.run_coroutine_threadsafe(
+                self.app.stop(), self.loop).result(timeout)
+        finally:
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self.thread.join(timeout)
+
+
+def serve_in_thread(**kwargs) -> ServerHandle:
+    """Start a :class:`ServeApp` on a daemon thread and return once it
+    is accepting connections."""
+    app = ServeApp(**kwargs)
+    ready = threading.Event()
+    boot_error: list = []
+    loop = asyncio.new_event_loop()
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(app.start())
+        except BaseException as exc:   # noqa: BLE001 - report to caller
+            boot_error.append(exc)
+            ready.set()
+            return
+        ready.set()
+        loop.run_forever()
+        # Drain cancelled tasks so the loop closes cleanly.
+        pending = asyncio.all_tasks(loop)
+        for task in pending:
+            task.cancel()
+        if pending:
+            loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True))
+        loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-serve",
+                              daemon=True)
+    thread.start()
+    if not ready.wait(30):
+        raise RuntimeError("server failed to start within 30s")
+    if boot_error:
+        raise boot_error[0]
+    return ServerHandle(app, thread, loop)

@@ -1,0 +1,69 @@
+"""Request coalescing: N clients asking for one in-flight cell share
+one computation.
+
+Every cold cell admitted by the queue gets exactly one
+:class:`Inflight` entry, keyed by its content-hashed ``cell_key``.  A
+request arriving while the entry exists *joins* it — it awaits the
+same task instead of submitting a duplicate simulation — so a thundering
+herd on a popular cold cell costs one worker slot, not N.  Entries are
+removed by the owning compute task when it finishes (success, failure
+or crash), never by waiters: a joined request that is cancelled (client
+went away) must not tear down the shared computation, which is why
+waiters go through :meth:`Inflight.wait` (an ``asyncio.shield``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, Optional
+
+
+class Inflight:
+    """One in-flight cell computation and its shared result future."""
+
+    __slots__ = ("key", "task", "started", "joined")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.task: Optional[asyncio.Task] = None
+        self.started = time.monotonic()
+        self.joined = 0   # requests that coalesced onto this entry
+
+    async def wait(self):
+        """Await the shared result without owning the task: a cancelled
+        waiter detaches, the computation (and other waiters) live on."""
+        self.joined += 1
+        return await asyncio.shield(self.task)
+
+    @property
+    def age_s(self) -> float:
+        return time.monotonic() - self.started
+
+
+class InflightTable:
+    """The cell_key → :class:`Inflight` map for one server."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Inflight] = {}
+
+    def get(self, key: str) -> Optional[Inflight]:
+        return self._entries.get(key)
+
+    def open(self, key: str) -> Inflight:
+        if key in self._entries:
+            raise RuntimeError(f"cell {key} is already in flight")
+        entry = self._entries[key] = Inflight(key)
+        return entry
+
+    def close(self, key: str) -> None:
+        self._entries.pop(key, None)
+
+    def keys(self):
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries

@@ -1,0 +1,165 @@
+"""Minimal HTTP/1.1 over asyncio streams — the wire layer of
+``repro serve``.
+
+The container ships no HTTP framework (no aiohttp), and the service
+needs exactly four things from the protocol: parse a request line +
+headers + ``Content-Length`` body, write a JSON response, keep-alive,
+and an unbounded streaming response for SSE/JSONL event feeds.  That
+is ~150 lines of stdlib asyncio, so it is hand-rolled here rather than
+gated behind an optional dependency; everything above this module talks
+:class:`Request`/:func:`json_response` and never touches sockets.
+
+Deliberate non-features: no chunked request bodies, no multipart, no
+TLS (terminate upstream), no HTTP/2.  Malformed input maps to
+:class:`HttpError` (a clean 4xx), never a traceback on the socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Hard caps keeping one bad client from ballooning server memory.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 1 * 1024 * 1024
+
+REASONS = {
+    200: "OK", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    408: "Request Timeout", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A protocol- or application-level error with an HTTP status."""
+
+    def __init__(self, status: int, message: str,
+                 headers: dict | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+
+@dataclass
+class Request:
+    """One parsed request; ``parts`` is the decoded, split path."""
+
+    method: str
+    path: str
+    query: dict = field(default_factory=dict)
+    headers: dict = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def parts(self) -> list:
+        return [unquote(p) for p in self.path.strip("/").split("/") if p]
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self):
+        """Decoded JSON body; raises :class:`HttpError` 400 on garbage."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except ValueError as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the stream; ``None`` on clean EOF."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None           # client closed between requests
+        raise HttpError(400, "truncated request line")
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "request line too long")
+    if len(line) > MAX_REQUEST_LINE:
+        raise HttpError(400, "request line too long")
+    fields = line.decode("latin-1").strip().split()
+    if len(fields) != 3 or not fields[2].startswith("HTTP/1"):
+        raise HttpError(400, "malformed request line")
+    method, target, _version = fields
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+
+    headers: dict = {}
+    total = 0
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise HttpError(400, "truncated headers")
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise HttpError(400, "headers too large")
+        if line in (b"\r\n", b"\n"):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            n = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length")
+        if n < 0 or n > MAX_BODY_BYTES:
+            raise HttpError(413, f"body over {MAX_BODY_BYTES} bytes")
+        if n:
+            try:
+                body = await reader.readexactly(n)
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "truncated request body")
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+    return Request(method=method.upper(), path=split.path, query=query,
+                   headers=headers, body=body)
+
+
+def response_bytes(status: int, body: bytes = b"",
+                   content_type: str = "application/json",
+                   headers: dict | None = None,
+                   keep_alive: bool = True) -> bytes:
+    """Serialize one complete (non-streaming) HTTP/1.1 response."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Type: {content_type}",
+             f"Content-Length: {len(body)}",
+             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(status: int, payload,
+                  headers: dict | None = None,
+                  keep_alive: bool = True) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    return response_bytes(status, body, headers=headers,
+                          keep_alive=keep_alive)
+
+
+def stream_header_bytes(content_type: str,
+                        headers: dict | None = None) -> bytes:
+    """Headers for an unbounded streaming response (SSE / JSONL): no
+    Content-Length, connection closes when the stream ends."""
+    lines = ["HTTP/1.1 200 OK",
+             f"Content-Type: {content_type}",
+             "Cache-Control: no-store",
+             "Connection: close"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")

@@ -1,0 +1,117 @@
+"""Bounded cold-cell queue over the experiment engine's process pool.
+
+Warm cells never come here — the app answers them straight from the
+ResultCache.  Cold cells are admitted up to ``depth`` outstanding
+simulations; beyond that :meth:`SimulationQueue.try_submit` raises
+:class:`QueueFull` and the app answers **429 + Retry-After** instead of
+letting demand grow an unbounded backlog (open-loop overload must shed,
+not queue: every queued cell makes every later cell's latency worse).
+
+The Retry-After estimate is honest, not a constant: outstanding work
+divided by drain rate, using an exponential moving average of recent
+cell wall times.
+
+Workers are the same ``ProcessPoolExecutor`` + fork context the batch
+path uses, and every submission is wrapped in the per-cell timeout
+(:func:`repro.experiments.parallel.call_with_timeout`), so a hung
+simulation becomes a ``CellFailure(kind="timeout")`` and the worker
+survives.  An OOM-killed worker breaks the whole pool (that is how
+``concurrent.futures`` works); :meth:`reset_pool` respawns it so one
+crash costs the in-flight cells, not the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.experiments.parallel import (_pool_context, _timed_worker,
+                                        run_cell)
+
+#: Serve-side default per-cell budget (seconds).  Batch sweeps default
+#: to no timeout; a service must never let one wedged cell hold a
+#: worker slot forever.
+DEFAULT_SERVE_TIMEOUT = 120.0
+
+
+class QueueFull(Exception):
+    """Admission refused; ``retry_after`` is the suggested backoff (s)."""
+
+    def __init__(self, depth: int, retry_after: float) -> None:
+        super().__init__(f"simulation queue full ({depth} outstanding)")
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+class SimulationQueue:
+    """Bounded admission control in front of a process pool."""
+
+    def __init__(self, jobs: int = 1, depth: int = 16,
+                 timeout: float | None = DEFAULT_SERVE_TIMEOUT,
+                 worker=run_cell) -> None:
+        self.jobs = max(1, jobs)
+        self.depth = max(1, depth)
+        self.timeout = timeout
+        self.worker = worker
+        self.pending = 0          # admitted, not yet completed
+        self.submitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self._ema_cell_s = 1.0    # drain-rate estimate for Retry-After
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=_pool_context())
+        return self._pool
+
+    def reset_pool(self) -> None:
+        """Respawn after a BrokenProcessPool (e.g. an OOM-killed worker);
+        already-submitted futures stay failed, new work gets a live pool."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- admission -----------------------------------------------------------
+
+    def retry_after_s(self) -> float:
+        """Backoff hint: time for the pool to drain the current backlog."""
+        return max(1.0, math.ceil(
+            (self.pending + 1) * self._ema_cell_s / self.jobs))
+
+    def try_submit(self, spec) -> asyncio.Future:
+        """Admit one cold cell or raise :class:`QueueFull`.
+
+        Returns an asyncio future resolving to the worker's outcome
+        (RunResult or CellFailure); raises whatever the worker raised,
+        including ``BrokenProcessPool`` — callers convert that to a
+        transient failure and :meth:`reset_pool`.
+        """
+        if self.pending >= self.depth:
+            self.rejected += 1
+            raise QueueFull(self.pending, self.retry_after_s())
+        pool = self._ensure_pool()
+        t0 = time.monotonic()
+        cf = pool.submit(_timed_worker, self.worker, spec, self.timeout)
+        self.pending += 1
+        self.submitted += 1
+        fut = asyncio.wrap_future(cf)
+
+        def _done(_fut) -> None:
+            self.pending -= 1
+            self.completed += 1
+            wall = time.monotonic() - t0
+            self._ema_cell_s += 0.25 * (wall - self._ema_cell_s)
+
+        fut.add_done_callback(_done)
+        return fut

@@ -229,3 +229,107 @@ class TestRunnerFailureSummary:
         assert "treeling-starvation: 2" in err
         assert "out-of-memory: 1" in err
         assert "S-1/ivleague-pro" in err
+
+
+class TestReadEvents:
+    def _reporter_log(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        r = ProgressReporter(jsonl_path=str(log), stream=io.StringIO())
+        r.sweep_start(total=2, cached=0, jobs=1)
+        r.cell_finish("k1", label="a", wall_s=0.5)
+        r.cell_finish("k2", label="b", wall_s=0.5)
+        r.sweep_end()
+        r.close()
+        return log
+
+    def test_round_trip(self, tmp_path):
+        from repro.obs.progress import read_events
+        events = read_events(self._reporter_log(tmp_path))
+        assert [e["event"] for e in events] == [
+            "sweep_start", "cell_finish", "cell_finish", "sweep_end"]
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        from repro.obs.progress import read_events
+        log = self._reporter_log(tmp_path)
+        with open(log, "a") as f:
+            f.write('{"event": "cell_finish", "ke')   # SIGKILL mid-write
+        events = read_events(log)
+        assert [e["event"] for e in events] == [
+            "sweep_start", "cell_finish", "cell_finish", "sweep_end"]
+
+    def test_corruption_before_the_tail_still_raises(self, tmp_path):
+        from repro.obs.progress import read_events
+        log = self._reporter_log(tmp_path)
+        lines = log.read_text().splitlines()
+        lines[1] = lines[1][:10]   # mangle a *middle* record
+        log.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="line 2"):
+            read_events(log)
+
+    def test_garbage_followed_by_valid_record_still_raises(self, tmp_path):
+        from repro.obs.progress import read_events
+        log = self._reporter_log(tmp_path)
+        with open(log, "a") as f:
+            f.write('not json\n{"event": "sweep_end", "ts": 0}\n')
+        with pytest.raises(ValueError, match="line 5"):
+            read_events(log)
+
+    def test_every_event_is_flushed_immediately(self, tmp_path):
+        from repro.obs.progress import read_events
+        log = tmp_path / "events.jsonl"
+        r = ProgressReporter(jsonl_path=str(log), stream=io.StringIO())
+        r.sweep_start(total=1, cached=0, jobs=1)
+        r.cell_start("k1", label="a")
+        # readable mid-sweep, before close(): per-event flush, so a
+        # crashed sweep's log holds everything up to the crash
+        events = read_events(log)
+        assert [e["event"] for e in events] == ["sweep_start",
+                                               "cell_start"]
+        r.close()
+
+
+class TestMetricsHistogram:
+    def test_memoized_and_snapshotted(self):
+        m = Metrics()
+        h = m.histogram("lat_us", endpoint="post")
+        assert h is m.histogram("lat_us", endpoint="post")
+        for us in (100, 200, 400, 800):
+            h.record(us)
+        snap = m.snapshot()
+        series = snap["histograms"]["lat_us{endpoint=post}"]
+        assert series["count"] == 4
+        assert series["sum"] == 1500
+        assert series["p50"] <= series["p99"]
+        assert sum(series["buckets"].values()) == 4
+
+    def test_snapshot_omits_section_when_unused(self):
+        m = Metrics()
+        m.counter("c").inc()
+        assert "histograms" not in m.snapshot()
+
+    def test_merge_adds_buckets_across_processes(self):
+        a, b = Metrics(), Metrics()
+        for us in (100, 200):
+            a.histogram("lat_us").record(us)
+        for us in (400, 10_000):
+            b.histogram("lat_us").record(us)
+        a.merge(b.snapshot())
+        series = a.snapshot()["histograms"]["lat_us"]
+        assert series["count"] == 4
+        assert series["sum"] == 10_700
+        hist = a.histogram("lat_us")
+        assert hist.min <= 100 and hist.max >= 10_000
+
+    def test_reset_zeroes_histograms(self):
+        m = Metrics()
+        m.histogram("lat_us").record(5)
+        m.reset()
+        assert m.histogram("lat_us").count == 0
+        assert m.snapshot()["histograms"]["lat_us"]["count"] == 0
+
+    def test_flat_values_expose_hist_series(self):
+        m = Metrics()
+        m.histogram("lat_us", endpoint="get").record(7)
+        flat = m._flat_values()
+        assert flat["hist.lat_us{endpoint=get}.count"] == 1
+        assert flat["hist.lat_us{endpoint=get}.sum"] == 7

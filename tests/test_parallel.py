@@ -14,7 +14,11 @@ Covers the properties the experiment layer depends on:
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import pickle
+import signal
+import time
 
 import pytest
 
@@ -122,8 +126,9 @@ class TestResultCache:
         cell = _cell()
         cache.put("0" * 32, parallel.run_cell(cell), cell)
         # same bytes presented under a different key: stale envelope
-        cache._path("f" * 32).write_bytes(
-            cache._path("0" * 32).read_bytes())
+        alias = cache._path("f" * 32)
+        alias.parent.mkdir(parents=True, exist_ok=True)
+        alias.write_bytes(cache._path("0" * 32).read_bytes())
         assert cache.get("f" * 32) is None
         assert cache.recovered == 1
 
@@ -318,3 +323,264 @@ class TestFullSweepParallel:
                          cache=ResultCache(tmp_path / "b"))
         assert [s.to_dict() for s in serial] == \
             [p.to_dict() for p in pooled]
+
+
+# ---------------------------------------------------------------------------
+# per-cell timeouts (workers used below are module-level so they cross
+# the pool's pickle boundary)
+# ---------------------------------------------------------------------------
+
+def _sleep_worker(seconds: float):
+    time.sleep(seconds)
+    return f"done-{seconds}"
+
+
+def _sleep_key(seconds: float) -> str:
+    return f"ee{int(seconds * 1000):028x}"
+
+
+def _starving_worker(seconds: float):
+    return CellFailure("treeling-starvation", f"after {seconds}")
+
+
+class TestCellTimeout:
+    def test_serial_sleeping_worker_becomes_timeout_failure(self):
+        before = signal.getsignal(signal.SIGALRM)
+        t0 = time.monotonic()
+        (out,) = parallel.execute_tasks(
+            [30.0], _sleep_worker, _sleep_key, jobs=1, timeout=0.2)
+        assert time.monotonic() - t0 < 10
+        assert isinstance(out, CellFailure) and out.kind == "timeout"
+        assert "0.2" in out.message
+        # the driver's SIGALRM handler is restored afterwards
+        assert signal.getsignal(signal.SIGALRM) == before
+
+    def test_pooled_hung_cell_times_out_and_worker_survives(self):
+        # 2 workers, 3 cells: whichever worker draws the 30s cell must
+        # survive its alarm and still drain the remaining queue.
+        t0 = time.monotonic()
+        outs = parallel.execute_tasks(
+            [30.0, 0.01, 0.02], _sleep_worker, _sleep_key,
+            jobs=2, timeout=0.5)
+        assert time.monotonic() - t0 < 20
+        assert isinstance(outs[0], CellFailure)
+        assert outs[0].kind == "timeout"
+        assert outs[1:] == ["done-0.01", "done-0.02"]
+
+    def test_fast_cells_are_unaffected_by_a_timeout(self):
+        outs = parallel.execute_tasks(
+            [0.0, 0.01], _sleep_worker, _sleep_key, jobs=1, timeout=30)
+        assert outs == ["done-0.0", "done-0.01"]
+
+    def test_env_var_arms_the_timeout(self, monkeypatch):
+        monkeypatch.setenv(parallel.CELL_TIMEOUT_ENV, "0.2")
+        (out,) = parallel.execute_tasks(
+            [30.0], _sleep_worker, _sleep_key, jobs=1)
+        assert isinstance(out, CellFailure) and out.kind == "timeout"
+
+    @pytest.mark.parametrize("raw", ["", "0", "-3", "nope"])
+    def test_env_var_off_values_mean_no_timeout(self, monkeypatch, raw):
+        monkeypatch.setenv(parallel.CELL_TIMEOUT_ENV, raw)
+        assert parallel.cell_timeout_from_env() is None
+
+    def test_timeout_failures_are_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path, payload_types=(str, CellFailure))
+        (out,) = parallel.execute_tasks(
+            [30.0], _sleep_worker, _sleep_key, jobs=1,
+            cache=cache, timeout=0.2)
+        assert out.kind == "timeout"
+        assert cache.stores == 0
+        assert cache.get(_sleep_key(30.0)) is None
+
+    def test_deterministic_failures_are_still_cached(self, tmp_path):
+        cache = ResultCache(tmp_path, payload_types=(str, CellFailure))
+        (out,) = parallel.execute_tasks(
+            [1.0], _starving_worker, _sleep_key, jobs=1,
+            cache=cache, timeout=5)
+        assert out.kind == "treeling-starvation"
+        assert cache.stores == 1
+        assert cache.get(_sleep_key(1.0)) == out
+
+    def test_telemetered_timeout_emits_cell_failed(self, tmp_path):
+        from repro.obs.metrics import Metrics
+        from repro.obs.progress import ProgressReporter, read_events
+        log = tmp_path / "events.jsonl"
+        reporter = ProgressReporter(jsonl_path=str(log),
+                                    stream=open(os.devnull, "w"))
+        m = Metrics()
+        outs = parallel.execute_tasks(
+            [30.0, 0.01], _sleep_worker, _sleep_key, jobs=2,
+            reporter=reporter, metrics=m, timeout=0.5)
+        reporter.close()
+        assert outs[0].kind == "timeout" and outs[1] == "done-0.01"
+        failed = [e for e in read_events(log)
+                  if e["event"] == "cell_failed"]
+        assert len(failed) == 1 and failed[0]["kind"] == "timeout"
+        snap = m.snapshot()
+        assert snap["counters"]["cells_failed"] == 1
+        assert snap["counters"]["cells_finished"] == 1
+
+
+# ---------------------------------------------------------------------------
+# sharded layout, flat-store migration, orphaned-tmp hygiene
+# ---------------------------------------------------------------------------
+
+def _seed_flat_entry(root, key: str, outcome) -> None:
+    """Write a pre-sharding (flat-layout) cache entry directly."""
+    payload = {"cache_schema": parallel.CACHE_SCHEMA_VERSION,
+               "key": key, "cell": None, "outcome": outcome}
+    (root / f"{key}.pkl").write_bytes(pickle.dumps(payload))
+
+
+def _crashing_put(root, key) -> None:
+    """Child-process body: die between mkstemp and os.replace, exactly
+    the crash window that orphans a ``*.tmp`` file."""
+    cache = ResultCache(root, payload_types=(CellFailure,))
+    parallel.os.replace = lambda src, dst: os._exit(7)
+    cache.put(key, CellFailure("x", "y"), None)
+    os._exit(0)   # pragma: no cover - put must have hit the stub
+
+
+class TestShardedCache:
+    KEY = "ab" + "0" * 30
+
+    def test_entries_land_in_two_hex_shards(self, tmp_path):
+        cache = ResultCache(tmp_path, payload_types=(CellFailure,))
+        cache.put(self.KEY, CellFailure("v", "1"), None)
+        assert (tmp_path / "ab" / f"{self.KEY}.pkl").is_file()
+        assert not (tmp_path / f"{self.KEY}.pkl").exists()
+
+    def test_flat_entry_migrates_transparently_on_read(self, tmp_path):
+        outcome = CellFailure("v", "flat-era")
+        _seed_flat_entry(tmp_path, self.KEY, outcome)
+        cache = ResultCache(tmp_path, payload_types=(CellFailure,))
+        assert cache.get(self.KEY) == outcome
+        assert cache.migrated == 1
+        assert not (tmp_path / f"{self.KEY}.pkl").exists()
+        assert (tmp_path / "ab" / f"{self.KEY}.pkl").is_file()
+        # second read is a plain sharded hit, no further migration
+        assert cache.get(self.KEY) == outcome
+        assert cache.migrated == 1
+
+    def test_init_sweeps_only_stale_tmp(self, tmp_path):
+        stale = tmp_path / "ab" / "old.tmp"
+        stale.parent.mkdir()
+        stale.write_bytes(b"orphan")
+        os.utime(stale, (time.time() - 3600, time.time() - 3600))
+        fresh = tmp_path / "live.tmp"
+        fresh.write_bytes(b"in-flight put")
+        cache = ResultCache(tmp_path, payload_types=(CellFailure,))
+        assert cache.tmp_swept == 1
+        assert not stale.exists()
+        assert fresh.exists()   # inside the grace window: a live writer
+
+    def test_clear_removes_and_counts_tmp_orphans(self, tmp_path):
+        cache = ResultCache(tmp_path, payload_types=(CellFailure,))
+        cache.put(self.KEY, CellFailure("v", "1"), None)
+        (tmp_path / "orphan.tmp").write_bytes(b"x")
+        assert cache.clear() == 2
+        assert cache.tmp_swept == 1
+        assert cache.get(self.KEY) is None
+
+    def test_crashed_put_orphan_is_swept_on_next_startup(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        p = ctx.Process(target=_crashing_put, args=(tmp_path, self.KEY))
+        p.start()
+        p.join(30)
+        assert p.exitcode == 7
+        orphans = list(tmp_path.glob("*/*.tmp"))
+        assert len(orphans) == 1   # the regression: garbage left behind
+        time.sleep(0.05)
+        cache = ResultCache(tmp_path, payload_types=(CellFailure,),
+                            tmp_grace_s=0.0)
+        assert cache.tmp_swept == 1
+        assert not orphans[0].exists()
+        assert cache.get(self.KEY) is None   # the put never landed
+
+
+# ---------------------------------------------------------------------------
+# multi-process cache contention
+# ---------------------------------------------------------------------------
+
+_KEYS = [f"{i:02x}" + "c" * 30 for i in range(8)]
+
+
+def _hammer(root, n_iter: int, out_q) -> None:
+    """put/get the shared key set as fast as possible; report how many
+    reads were torn (parsed but wrong) — misses are legal, tears are not."""
+    cache = ResultCache(root, payload_types=(CellFailure,))
+    torn = 0
+    for i in range(n_iter):
+        k = _KEYS[i % len(_KEYS)]
+        cache.put(k, CellFailure("v", f"{os.getpid()}:{i}"), None)
+        got = cache.get(k)
+        if got is not None and (not isinstance(got, CellFailure)
+                                or got.kind != "v"):
+            torn += 1
+    out_q.put(("torn", torn, cache.recovered))
+
+
+def _clear_loop(root, rounds: int, out_q) -> None:
+    cache = ResultCache(root, payload_types=(CellFailure,))
+    removed = 0
+    for _ in range(rounds):
+        removed += cache.clear()
+        time.sleep(0.005)
+    out_q.put(("cleared", removed, 0))
+
+
+def _migrating_reader(root, out_q) -> None:
+    cache = ResultCache(root, payload_types=(CellFailure,))
+    ok = all(isinstance(cache.get(k), CellFailure) for k in _KEYS)
+    out_q.put(("reader", ok, cache.migrated))
+
+
+class TestCacheContention:
+    def test_hammering_processes_see_no_torn_reads(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        out_q = ctx.Queue()
+        procs = [ctx.Process(target=_hammer,
+                             args=(tmp_path, 150, out_q))
+                 for _ in range(4)]
+        procs.append(ctx.Process(target=_clear_loop,
+                                 args=(tmp_path, 20, out_q)))
+        for p in procs:
+            p.start()
+        results = [out_q.get(timeout=120) for _ in procs]
+        for p in procs:
+            p.join(30)
+            assert p.exitcode == 0
+        torn = [r for r in results if r[0] == "torn"]
+        assert len(torn) == 4
+        assert all(t[1] == 0 for t in torn)       # no torn reads
+        assert all(t[2] == 0 for t in torn)       # nothing corrupted
+        # after the storm the store still works end to end
+        cache = ResultCache(tmp_path, payload_types=(CellFailure,))
+        for k in _KEYS:
+            cache.put(k, CellFailure("v", "final"), None)
+            assert cache.get(k) == CellFailure("v", "final")
+
+    def test_concurrent_flat_migration_is_idempotent(self, tmp_path):
+        for k in _KEYS:
+            _seed_flat_entry(tmp_path, k, CellFailure("v", f"flat-{k}"))
+        ctx = multiprocessing.get_context("fork")
+        out_q = ctx.Queue()
+        procs = [ctx.Process(target=_migrating_reader,
+                             args=(tmp_path, out_q))
+                 for _ in range(4)]
+        for p in procs:
+            p.start()
+        results = [out_q.get(timeout=120) for _ in procs]
+        for p in procs:
+            p.join(30)
+            assert p.exitcode == 0
+        # every reader saw every value, regardless of who migrated it
+        assert all(ok for _, ok, _ in results)
+        # exactly one migration per key happened across all processes
+        assert sum(m for _, _, m in results) == len(_KEYS)
+        assert not list(tmp_path.glob("*.pkl"))      # flat layout gone
+        for k in _KEYS:
+            assert (tmp_path / k[:2] / f"{k}.pkl").is_file()
+        cache = ResultCache(tmp_path, payload_types=(CellFailure,))
+        assert cache.get(_KEYS[0]) == CellFailure("v", "flat-" + _KEYS[0])
+        assert cache.migrated == 0
